@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 2 (post-isolation bitline power transient).
+
+Paper shape targets: isolation overhead peaks near 195% of the static
+pull-up power at 180nm and takes hundreds of nanoseconds to settle, while
+at 70nm the switching spike is insignificant and dies out quickly.
+"""
+
+from repro.experiments.figure2 import figure2, format_figure2
+
+from conftest import run_once
+
+
+def test_bench_figure2(benchmark):
+    result = run_once(benchmark, figure2)
+    print()
+    print(format_figure2(result))
+
+    assert 180 <= result.peak_overhead_percent(180) <= 210
+    assert result.peak_overhead_percent(70) < 105
+    assert result.settling_time_ns(70) < result.settling_time_ns(180)
+
+    benchmark.extra_info["peak_percent_by_node"] = {
+        nm: round(result.peak_overhead_percent(nm), 1) for nm in result.transients
+    }
+    benchmark.extra_info["settling_ns_by_node"] = {
+        nm: round(result.settling_time_ns(nm), 1) for nm in result.transients
+    }

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 6 (fraction of hot subarrays vs threshold).
+
+Paper shape target: only a small fraction of subarrays is hot — about 22%
+on average at a 100-cycle threshold, and at most ~40% at 1000 cycles.
+"""
+
+from repro.experiments.figure6 import figure6, format_figure6
+
+from conftest import run_once
+
+
+def test_bench_figure6(benchmark, bench_benchmarks, bench_instructions):
+    result = run_once(
+        benchmark, figure6, benchmarks=bench_benchmarks,
+        n_instructions=bench_instructions,
+    )
+    print()
+    print(format_figure6(result))
+
+    hot_100 = result.average_hot_fraction("dcache", 100)
+    hot_1000 = result.average_hot_fraction("dcache", 1000)
+    assert hot_100 < 0.5
+    assert hot_100 <= hot_1000 <= 0.8
+    assert result.average_hot_fraction("icache", 100) < hot_1000
+
+    benchmark.extra_info["avg_dcache_hot_fraction_100"] = round(hot_100, 3)
+    benchmark.extra_info["avg_dcache_hot_fraction_1000"] = round(hot_1000, 3)
+    benchmark.extra_info["avg_icache_hot_fraction_100"] = round(
+        result.average_hot_fraction("icache", 100), 3
+    )

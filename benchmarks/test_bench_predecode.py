@@ -1,0 +1,28 @@
+"""Bench: regenerate the Section 6.3 predecoding-accuracy measurement.
+
+Paper shape target: predecoding identifies the accessed subarray correctly
+for the large majority of memory operations at 1KB subarrays (~80% in the
+paper) and degrades clearly for cache-line-sized subarrays (~61%).
+"""
+
+from repro.experiments.predecode_accuracy import (
+    format_predecode_accuracy,
+    predecode_accuracy,
+)
+
+from conftest import run_once
+
+
+def test_bench_predecode_accuracy(benchmark, bench_benchmarks, bench_instructions):
+    result = run_once(
+        benchmark, predecode_accuracy, benchmarks=bench_benchmarks,
+        n_instructions=bench_instructions,
+    )
+    print()
+    print(format_predecode_accuracy(result))
+
+    assert result.average_accuracy(1024) > 0.6
+    assert result.average_accuracy(64) < result.average_accuracy(1024)
+
+    benchmark.extra_info["avg_accuracy_1KB"] = round(result.average_accuracy(1024), 3)
+    benchmark.extra_info["avg_accuracy_64B"] = round(result.average_accuracy(64), 3)

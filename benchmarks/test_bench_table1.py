@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 1 (circuit parameters)."""
+
+from repro.experiments.table1 import format_table1, table1_rows
+
+from conftest import run_once
+
+
+def test_bench_table1(benchmark):
+    rows = run_once(benchmark, table1_rows)
+    print()
+    print(format_table1())
+    assert [r.feature_size_nm for r in rows] == [180, 130, 100, 70]
+    benchmark.extra_info["nodes"] = [r.feature_size_nm for r in rows]
+    benchmark.extra_info["supply_voltages"] = [r.supply_voltage for r in rows]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 2 (base system configuration)."""
+
+from repro.experiments.table2 import format_table2, table2_rows
+
+from conftest import run_once
+
+
+def test_bench_table2(benchmark):
+    rows = run_once(benchmark, table2_rows)
+    print()
+    print(format_table2())
+    as_dict = dict(rows)
+    assert as_dict["Issue & decode"] == "8 instructions per cycle"
+    assert "32K" in as_dict["L1 i-cache"]
+    benchmark.extra_info["parameters"] = len(rows)

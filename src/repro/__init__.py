@@ -1,0 +1,36 @@
+"""repro: a reproduction of "Near-Optimal Precharging in High-Performance
+Nanoscale CMOS Caches" (Yang & Falsafi, MICRO-36, 2003).
+
+The package is organised bottom-up:
+
+* :mod:`repro.circuits` — technology scaling, SRAM/bitline/decoder circuit
+  models (the CACTI + SPICE substitute);
+* :mod:`repro.cache` — behavioural caches with subarray-granularity
+  precharge control and energy accounting;
+* :mod:`repro.core` — the precharge-control policies: static pull-up,
+  oracle, on-demand, **gated precharging** (the paper's contribution,
+  with predecoding) and the resizable-cache baseline;
+* :mod:`repro.cpu` — the 8-wide out-of-order processor model with
+  load-hit speculation and selective replay;
+* :mod:`repro.workloads` — synthetic SPEC2000/Olden-like workloads;
+* :mod:`repro.energy` — Wattch-style processor energy accounting;
+* :mod:`repro.sim` — the run configuration/driver layer;
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+
+Quick start::
+
+    from repro.sim import SimulationConfig, run_simulation
+
+    config = SimulationConfig(benchmark="gcc",
+                              dcache_policy="gated-predecode",
+                              icache_policy="gated",
+                              feature_size_nm=70)
+    result = run_simulation(config)
+    print(result.summary())
+"""
+
+from .sim import SimulationConfig, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = ["SimulationConfig", "run_simulation", "__version__"]

@@ -1,0 +1,43 @@
+"""Behavioural cache simulator with subarray-granularity precharge control.
+
+The package provides the memory-system substrate the paper's evaluation
+runs on: set-associative L1 caches divided into subarrays, an L2 and a
+flat-latency memory behind them, per-subarray access tracking (for the
+locality analyses of Section 6.1) and the energy ledger that converts
+subarray pull-up/idle residency into bitline-discharge energy using the
+circuit models.
+"""
+
+from .block import CacheLine
+from .cache import AccessResult, NextLevel, PrechargeController, SetAssociativeCache
+from .energy_accounting import EnergyBreakdown, EnergyLedger
+from .hierarchy import HierarchyConfig, MainMemory, MemoryHierarchy
+from .mshr import MSHREntry, MSHRFile
+from .replacement import (
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    make_replacement,
+)
+from .subarray import SubarrayStats, SubarrayTracker
+
+__all__ = [
+    "CacheLine",
+    "AccessResult",
+    "NextLevel",
+    "PrechargeController",
+    "SetAssociativeCache",
+    "EnergyBreakdown",
+    "EnergyLedger",
+    "HierarchyConfig",
+    "MainMemory",
+    "MemoryHierarchy",
+    "MSHREntry",
+    "MSHRFile",
+    "LRUReplacement",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "make_replacement",
+    "SubarrayStats",
+    "SubarrayTracker",
+]

@@ -1,0 +1,50 @@
+"""Cache line (block) bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheLine"]
+
+
+@dataclass
+class CacheLine:
+    """State of one cache line within a set.
+
+    Attributes:
+        tag: Address tag stored in the line, or ``None`` when invalid.
+        valid: Whether the line holds data.
+        dirty: Whether the line has been written since it was filled.
+        last_used_cycle: Cycle of the most recent access (for LRU).
+        fill_cycle: Cycle at which the line was filled.
+    """
+
+    tag: int | None = None
+    valid: bool = False
+    dirty: bool = False
+    last_used_cycle: int = 0
+    fill_cycle: int = 0
+
+    def invalidate(self) -> None:
+        """Drop the line's contents."""
+        self.tag = None
+        self.valid = False
+        self.dirty = False
+
+    def fill(self, tag: int, cycle: int) -> None:
+        """Install a new tag, marking the line valid and clean."""
+        self.tag = tag
+        self.valid = True
+        self.dirty = False
+        self.fill_cycle = cycle
+        self.last_used_cycle = cycle
+
+    def touch(self, cycle: int, write: bool = False) -> None:
+        """Record a hit on the line."""
+        self.last_used_cycle = cycle
+        if write:
+            self.dirty = True
+
+    def matches(self, tag: int) -> bool:
+        """Whether the line is valid and holds ``tag``."""
+        return self.valid and self.tag == tag

@@ -1,0 +1,159 @@
+"""Memory hierarchy: L1 instruction/data caches, unified L2, main memory.
+
+The base configuration (Table 2):
+
+* L1 i-cache: 32KB, 2-way, 2-cycle, 2 RW ports;
+* L1 d-cache: 32KB, 2-way, 3-cycle, 2 RW + 2 R ports;
+* L2 unified: 512KB, 4-way, 12-cycle latency;
+* Memory: 100 cycles + 4 cycles per 8 bytes.
+
+Only the L1 caches carry a precharge-control policy (the paper's subject);
+the L2 is modelled as a conventional cache and memory as a flat latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuits.cacti import CacheOrganization, cache_organization
+
+from .cache import AccessResult, PrechargeController, SetAssociativeCache
+
+__all__ = ["MainMemory", "MemoryHierarchy", "HierarchyConfig"]
+
+
+class MainMemory:
+    """Flat-latency main memory: 100 cycles plus 4 cycles per 8 bytes."""
+
+    def __init__(self, base_latency: int = 100, cycles_per_8_bytes: int = 4,
+                 line_bytes: int = 32) -> None:
+        if base_latency < 1:
+            raise ValueError("base latency must be positive")
+        self.base_latency = base_latency
+        self.cycles_per_8_bytes = cycles_per_8_bytes
+        self.line_bytes = line_bytes
+        self.requests = 0
+
+    @property
+    def line_fill_latency(self) -> int:
+        """Latency to fill one cache line."""
+        bursts = max(1, self.line_bytes // 8)
+        return self.base_latency + self.cycles_per_8_bytes * bursts
+
+    def access(self, address: int, cycle: int, write: bool = False) -> AccessResult:
+        """Service a request from memory (always a 'hit')."""
+        self.requests += 1
+        return AccessResult(
+            hit=True,
+            latency=self.line_fill_latency,
+            subarray=0,
+            precharge_penalty=0,
+            set_index=0,
+        )
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Sizing of the memory hierarchy (defaults follow Table 2)."""
+
+    feature_size_nm: int = 70
+    line_bytes: int = 32
+    l1i_bytes: int = 32 * 1024
+    l1i_assoc: int = 2
+    l1i_ports: int = 2
+    l1i_latency: int = 2
+    l1d_bytes: int = 32 * 1024
+    l1d_assoc: int = 2
+    l1d_ports: int = 2
+    l1d_latency: int = 3
+    l2_bytes: int = 512 * 1024
+    l2_assoc: int = 4
+    l2_latency: int = 12
+    subarray_bytes: int = 1024
+    memory_latency: int = 100
+    memory_cycles_per_8_bytes: int = 4
+    mshr_entries: int = 8
+
+    def l1i_organization(self) -> CacheOrganization:
+        """Physical organisation of the L1 instruction cache."""
+        return cache_organization(
+            self.feature_size_nm, self.l1i_bytes, self.line_bytes,
+            self.l1i_assoc, self.subarray_bytes, ports=self.l1i_ports,
+        )
+
+    def l1d_organization(self) -> CacheOrganization:
+        """Physical organisation of the L1 data cache."""
+        return cache_organization(
+            self.feature_size_nm, self.l1d_bytes, self.line_bytes,
+            self.l1d_assoc, self.subarray_bytes, ports=self.l1d_ports,
+        )
+
+    def l2_organization(self) -> CacheOrganization:
+        """Physical organisation of the unified L2 cache."""
+        return cache_organization(
+            self.feature_size_nm, self.l2_bytes, self.line_bytes,
+            self.l2_assoc, max(self.subarray_bytes, 4096), ports=1,
+        )
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + main memory, wired together."""
+
+    def __init__(
+        self,
+        config: Optional[HierarchyConfig] = None,
+        icache_controller: Optional[PrechargeController] = None,
+        dcache_controller: Optional[PrechargeController] = None,
+    ) -> None:
+        self.config = config or HierarchyConfig()
+        self.memory = MainMemory(
+            base_latency=self.config.memory_latency,
+            cycles_per_8_bytes=self.config.memory_cycles_per_8_bytes,
+            line_bytes=self.config.line_bytes,
+        )
+        self.l2 = SetAssociativeCache(
+            organization=self.config.l2_organization(),
+            name="L2",
+            next_level=self.memory,
+            mshr_entries=self.config.mshr_entries,
+            base_latency=self.config.l2_latency,
+        )
+        self.l1i = SetAssociativeCache(
+            organization=self.config.l1i_organization(),
+            name="L1I",
+            controller=icache_controller,
+            next_level=self.l2,
+            mshr_entries=self.config.mshr_entries,
+            base_latency=self.config.l1i_latency,
+        )
+        self.l1d = SetAssociativeCache(
+            organization=self.config.l1d_organization(),
+            name="L1D",
+            controller=dcache_controller,
+            next_level=self.l2,
+            mshr_entries=self.config.mshr_entries,
+            base_latency=self.config.l1d_latency,
+        )
+
+    # ------------------------------------------------------------------
+    def fetch_instruction(self, pc: int, cycle: int) -> AccessResult:
+        """Fetch an instruction block through the L1 i-cache."""
+        return self.l1i.access(pc, cycle, write=False)
+
+    def load(self, address: int, cycle: int,
+             base_address: Optional[int] = None) -> AccessResult:
+        """Perform a load through the L1 d-cache."""
+        return self.l1d.access(address, cycle, write=False, base_address=base_address)
+
+    def store(self, address: int, cycle: int,
+              base_address: Optional[int] = None) -> AccessResult:
+        """Perform a store through the L1 d-cache."""
+        return self.l1d.access(address, cycle, write=True, base_address=base_address)
+
+    def finalize(self, end_cycle: int) -> dict:
+        """Finalize both L1 caches; returns their energy breakdowns by name."""
+        return {
+            "L1I": self.l1i.finalize(end_cycle),
+            "L1D": self.l1d.finalize(end_cycle),
+        }

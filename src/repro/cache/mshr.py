@@ -1,0 +1,86 @@
+"""Miss Status Holding Registers (MSHRs).
+
+The base configuration (Table 2) provides 8 MSHR entries.  MSHRs bound the
+number of outstanding misses; a miss that cannot allocate an entry stalls
+until one frees.  Secondary misses to a line already being fetched merge
+into the existing entry instead of issuing a new memory request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["MSHRFile", "MSHREntry"]
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss."""
+
+    line_address: int
+    ready_cycle: int
+    merged_requests: int = 1
+
+
+class MSHRFile:
+    """A bounded set of outstanding-miss registers."""
+
+    def __init__(self, n_entries: int = 8) -> None:
+        if n_entries < 1:
+            raise ValueError("need at least one MSHR entry")
+        self._n_entries = n_entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.merged_misses = 0
+        self.rejected_allocations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of outstanding misses."""
+        return self._n_entries
+
+    @property
+    def occupancy(self) -> int:
+        """Currently outstanding misses."""
+        return len(self._entries)
+
+    def is_full(self) -> bool:
+        """Whether no further primary miss can be accepted."""
+        return len(self._entries) >= self._n_entries
+
+    def outstanding(self, line_address: int) -> Optional[MSHREntry]:
+        """The entry tracking ``line_address``, if any."""
+        return self._entries.get(line_address)
+
+    def allocate(self, line_address: int, ready_cycle: int) -> Optional[MSHREntry]:
+        """Allocate (or merge into) an entry for a missing line.
+
+        Returns:
+            The entry, or ``None`` if the file is full and the miss must
+            stall (the caller retries later).
+        """
+        existing = self._entries.get(line_address)
+        if existing is not None:
+            existing.merged_requests += 1
+            self.merged_misses += 1
+            return existing
+        if self.is_full():
+            self.rejected_allocations += 1
+            return None
+        entry = MSHREntry(line_address=line_address, ready_cycle=ready_cycle)
+        self._entries[line_address] = entry
+        return entry
+
+    def retire_completed(self, cycle: int) -> List[MSHREntry]:
+        """Release every entry whose fill has arrived by ``cycle``."""
+        done = [e for e in self._entries.values() if e.ready_cycle <= cycle]
+        for entry in done:
+            del self._entries[entry.line_address]
+        return done
+
+    def earliest_ready_cycle(self) -> Optional[int]:
+        """Cycle at which the next outstanding fill returns, if any."""
+        if not self._entries:
+            return None
+        return min(e.ready_cycle for e in self._entries.values())

@@ -1,0 +1,68 @@
+"""Replacement policies for set-associative caches."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from .block import CacheLine
+
+__all__ = ["ReplacementPolicy", "LRUReplacement", "RandomReplacement", "make_replacement"]
+
+
+class ReplacementPolicy(ABC):
+    """Chooses a victim way within a set."""
+
+    @abstractmethod
+    def select_victim(self, ways: Sequence[CacheLine]) -> int:
+        """Return the index of the way to evict.
+
+        Invalid ways must be preferred over valid ones.
+        """
+
+    @staticmethod
+    def _first_invalid(ways: Sequence[CacheLine]) -> int | None:
+        for index, line in enumerate(ways):
+            if not line.valid:
+                return index
+        return None
+
+
+class LRUReplacement(ReplacementPolicy):
+    """Evict the least-recently-used valid way."""
+
+    def select_victim(self, ways: Sequence[CacheLine]) -> int:
+        invalid = self._first_invalid(ways)
+        if invalid is not None:
+            return invalid
+        oldest_index = 0
+        oldest_cycle = ways[0].last_used_cycle
+        for index, line in enumerate(ways):
+            if line.last_used_cycle < oldest_cycle:
+                oldest_cycle = line.last_used_cycle
+                oldest_index = index
+        return oldest_index
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Evict a (pseudo-)randomly chosen way; deterministic given the seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select_victim(self, ways: Sequence[CacheLine]) -> int:
+        invalid = self._first_invalid(ways)
+        if invalid is not None:
+            return invalid
+        return self._rng.randrange(len(ways))
+
+
+def make_replacement(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Factory: ``"lru"`` or ``"random"``."""
+    lowered = name.lower()
+    if lowered == "lru":
+        return LRUReplacement()
+    if lowered == "random":
+        return RandomReplacement(seed=seed)
+    raise ValueError(f"unknown replacement policy {name!r}")

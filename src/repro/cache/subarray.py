@@ -1,0 +1,185 @@
+"""Per-subarray access statistics.
+
+The architectural side of the paper's methodology is driven entirely by
+*when each subarray is accessed*: the pull-up/idle time distributions
+(Section 3) are combined with the circuit-level discharge rates to compute
+energy, and the access-interval (access frequency) distributions drive the
+locality study of Section 6.1 (Figures 5 and 6).
+
+:class:`SubarrayStats` records, for one subarray, the access count and the
+distribution of gaps between consecutive accesses; :class:`SubarrayTracker`
+aggregates all subarrays of one cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["SubarrayStats", "SubarrayTracker"]
+
+
+@dataclass
+class SubarrayStats:
+    """Access history summary of one subarray.
+
+    Attributes:
+        index: Subarray index within its cache.
+        accesses: Number of accesses observed.
+        last_access_cycle: Cycle of the most recent access, or ``None`` if
+            the subarray was never touched.
+        gap_histogram: Histogram of inter-access gaps, bucketed by
+            power-of-ten ranges: key ``k`` counts gaps with
+            ``10**k <= gap < 10**(k+1)`` (key 0 holds gaps below 10).
+        total_gap_cycles: Sum of all recorded gaps (for mean interval).
+        recorded_gaps: Number of gaps recorded.
+    """
+
+    index: int
+    accesses: int = 0
+    last_access_cycle: Optional[int] = None
+    gap_histogram: Dict[int, int] = field(default_factory=dict)
+    total_gap_cycles: int = 0
+    recorded_gaps: int = 0
+
+    def record_access(self, cycle: int) -> Optional[int]:
+        """Record an access at ``cycle``; return the gap since the previous one."""
+        gap: Optional[int] = None
+        if self.last_access_cycle is not None:
+            gap = max(0, cycle - self.last_access_cycle)
+            bucket = 0
+            g = gap
+            while g >= 10:
+                g //= 10
+                bucket += 1
+            self.gap_histogram[bucket] = self.gap_histogram.get(bucket, 0) + 1
+            self.total_gap_cycles += gap
+            self.recorded_gaps += 1
+        self.accesses += 1
+        self.last_access_cycle = cycle
+        return gap
+
+    @property
+    def mean_gap_cycles(self) -> float:
+        """Mean inter-access gap in cycles (``inf`` if fewer than two accesses)."""
+        if self.recorded_gaps == 0:
+            return float("inf")
+        return self.total_gap_cycles / self.recorded_gaps
+
+    @property
+    def mean_access_frequency(self) -> float:
+        """Mean accesses per cycle (reciprocal of the mean gap)."""
+        mean_gap = self.mean_gap_cycles
+        if mean_gap == 0:
+            return 1.0
+        if mean_gap == float("inf"):
+            return 0.0
+        return 1.0 / mean_gap
+
+
+class SubarrayTracker:
+    """Aggregated subarray access statistics for one cache."""
+
+    def __init__(self, n_subarrays: int) -> None:
+        if n_subarrays < 1:
+            raise ValueError("need at least one subarray")
+        self._stats: List[SubarrayStats] = [
+            SubarrayStats(index=i) for i in range(n_subarrays)
+        ]
+        self._all_gaps: List[Tuple[int, int]] = []  # (subarray, gap)
+        self.total_accesses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_subarrays(self) -> int:
+        """Number of tracked subarrays."""
+        return len(self._stats)
+
+    def __getitem__(self, index: int) -> SubarrayStats:
+        return self._stats[index]
+
+    def __iter__(self) -> Iterable[SubarrayStats]:
+        return iter(self._stats)
+
+    def record_access(self, subarray: int, cycle: int) -> Optional[int]:
+        """Record an access; returns the inter-access gap for that subarray."""
+        gap = self._stats[subarray].record_access(cycle)
+        self.total_accesses += 1
+        if gap is not None:
+            self._all_gaps.append((subarray, gap))
+        return gap
+
+    # ------------------------------------------------------------------
+    # Locality analyses (Figures 5 and 6)
+    # ------------------------------------------------------------------
+    def access_gaps(self) -> List[int]:
+        """All recorded inter-access gaps across every subarray."""
+        return [gap for _, gap in self._all_gaps]
+
+    def cumulative_access_fraction(self, thresholds: Iterable[int]) -> Dict[int, float]:
+        """Figure 5: fraction of accesses whose inter-access gap <= threshold.
+
+        An access occurring in a subarray whose previous access was at most
+        ``threshold`` cycles earlier is an access to a "hot" subarray at
+        that access-frequency threshold (frequency = 1/threshold).
+        """
+        gaps = sorted(gap for _, gap in self._all_gaps)
+        total = len(gaps)
+        result: Dict[int, float] = {}
+        for threshold in thresholds:
+            if total == 0:
+                result[threshold] = 0.0
+                continue
+            count = _count_leq(gaps, threshold)
+            result[threshold] = count / total
+        return result
+
+    def hot_subarray_fraction(
+        self, thresholds: Iterable[int], total_cycles: int
+    ) -> Dict[int, float]:
+        """Figure 6: time-averaged fraction of subarrays that are "hot".
+
+        A subarray is hot at a given instant if it was accessed within the
+        last ``threshold`` cycles.  Averaged over the run, the fraction of
+        time a subarray is hot equals (covered cycles / total cycles) where
+        covered cycles is the union of ``threshold``-length windows after
+        each access — computed exactly from the gap sequence.
+        """
+        if total_cycles <= 0:
+            raise ValueError("total_cycles must be positive")
+        result: Dict[int, float] = {}
+        for threshold in thresholds:
+            hot_time = 0.0
+            for stats in self._stats:
+                if stats.accesses == 0:
+                    continue
+                covered = 0
+                for bucket, count in stats.gap_histogram.items():
+                    # Approximate every gap in the bucket by its geometric
+                    # midpoint for the covered-time computation.
+                    low = 10 ** bucket
+                    high = 10 ** (bucket + 1)
+                    mid = (low + high) / 2.0 if bucket > 0 else 5.0
+                    covered += count * min(mid, threshold)
+                # The final access contributes one more window (or until
+                # the end of the run, whichever is shorter).
+                covered += min(threshold, total_cycles)
+                hot_time += min(covered, total_cycles)
+            result[threshold] = hot_time / (total_cycles * self.n_subarrays)
+        return result
+
+    def per_subarray_access_counts(self) -> List[int]:
+        """Access count of every subarray (index-aligned)."""
+        return [s.accesses for s in self._stats]
+
+
+def _count_leq(sorted_values: List[int], threshold: int) -> int:
+    """Number of values <= threshold in a sorted list (binary search)."""
+    lo, hi = 0, len(sorted_values)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sorted_values[mid] <= threshold:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,63 @@
+"""Circuit-level models: technology scaling, SRAM cells, bitlines, decoders.
+
+This package replaces the paper's CACTI 3.2 + SPICE toolchain with
+first-order analytical models.  It provides:
+
+* :mod:`~repro.circuits.technology` — the Table 1 technology nodes and the
+  Borkar scaling rules (switching x0.5, leakage x3.5 per generation);
+* :mod:`~repro.circuits.sram_cell`, :mod:`~repro.circuits.precharge_device`,
+  :mod:`~repro.circuits.wires`, :mod:`~repro.circuits.sense_amp` — device
+  building blocks;
+* :mod:`~repro.circuits.bitline` — bitline capacitance, leakage discharge,
+  worst-case pull-up, post-isolation decay;
+* :mod:`~repro.circuits.decoder` — the CACTI-style three-stage decoder and
+  the partial-decode margin on-demand precharging must fit into (Table 3);
+* :mod:`~repro.circuits.transient` — the Figure 2 post-isolation power
+  transient;
+* :mod:`~repro.circuits.subarray_circuit`, :mod:`~repro.circuits.cacti` —
+  subarray- and cache-level aggregation used by the architectural models.
+"""
+
+from .bitline import Bitline
+from .cacti import CacheOrganization, CacheTiming, cache_organization
+from .decoder import DecoderTiming, decoder_timing
+from .precharge_device import PrechargeDevice, DEFAULT_SIZE_RATIO
+from .sense_amp import SenseAmplifier
+from .sram_cell import SRAMCell, READ_DISCHARGE_SWING_V
+from .subarray_circuit import SubarrayCircuit, subarray_circuit
+from .technology import (
+    LEAKAGE_SCALING_PER_GENERATION,
+    SWITCHING_SCALING_PER_GENERATION,
+    TECHNOLOGY_NODES,
+    TechnologyNode,
+    available_nodes,
+    get_technology,
+)
+from .transient import IsolationTransient, TransientPoint, isolation_transient
+from .wires import Wire
+
+__all__ = [
+    "Bitline",
+    "CacheOrganization",
+    "CacheTiming",
+    "cache_organization",
+    "DecoderTiming",
+    "decoder_timing",
+    "PrechargeDevice",
+    "DEFAULT_SIZE_RATIO",
+    "SenseAmplifier",
+    "SRAMCell",
+    "READ_DISCHARGE_SWING_V",
+    "SubarrayCircuit",
+    "subarray_circuit",
+    "LEAKAGE_SCALING_PER_GENERATION",
+    "SWITCHING_SCALING_PER_GENERATION",
+    "TECHNOLOGY_NODES",
+    "TechnologyNode",
+    "available_nodes",
+    "get_technology",
+    "IsolationTransient",
+    "TransientPoint",
+    "isolation_transient",
+    "Wire",
+]

@@ -1,0 +1,233 @@
+"""Bitline electrical model.
+
+A bitline is the vertical wire that connects every SRAM cell of a column
+to the sense amplifier, plus the precharge device at its top.  Everything
+the paper measures ultimately reduces to four bitline quantities:
+
+* ``capacitance_f`` — total bitline capacitance (cell drains + wire +
+  sense/mux loading), which sets the precharge (pull-up) delay and the
+  energy stored on the bitline;
+* ``leakage_current_a`` — subthreshold current drawn from a pulled-up
+  bitline by the attached cells, i.e. the *bitline discharge* that blind
+  static pull-up pays continuously;
+* ``worst_case_pull_up_s`` — the time to re-charge a fully discharged
+  bitline (Table 3 compares this against the final decode stage delay);
+* ``decay_time_constant_s`` — how quickly an isolated bitline's voltage
+  (and hence its residual discharge) decays towards the steady state
+  (Figure 2 and the oracle/gated energy accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import exp
+
+from .precharge_device import PrechargeDevice, DEFAULT_SIZE_RATIO
+from .sram_cell import SRAMCell
+from .technology import TechnologyNode
+from .wires import Wire
+
+__all__ = ["Bitline", "CELL_HEIGHT_IN_FEATURES", "BASELINE_ROWS"]
+
+#: Height of a 6-T SRAM cell in units of the drawn feature size.  Sets the
+#: bitline wire length per attached row.
+CELL_HEIGHT_IN_FEATURES = 12.0
+
+#: Reference row count used when sizing precharge devices: designers size
+#: the precharge PMOS to the bitline load, so devices on longer bitlines
+#: are drawn wider (sub-linearly).
+BASELINE_ROWS = 32
+
+#: Fixed loading (fF at 180nm, scales with feature size) contributed by
+#: the column mux, write driver and sense-amplifier input.
+_FIXED_LOAD_FF_180 = 15.0
+
+#: Empirical de-rating applied to the first-order constant-current pull-up
+#: estimate, accounting for distributed bitline RC, the equalisation
+#: device, and the PMOS drive collapsing as the bitline nears Vdd.
+#: Calibrated so the 180nm / 1KB-subarray worst-case pull-up lands near the
+#: 0.39 ns the paper reports in Table 3.
+_PULL_UP_CALIBRATION = 2.8
+
+
+@dataclass(frozen=True)
+class Bitline:
+    """One bitline with ``rows`` attached cells in a given technology.
+
+    Attributes:
+        tech: Technology node.
+        rows: Number of SRAM cells (rows) attached to the bitline.
+        ports: Number of cache ports (multiplies leakage paths per column
+            but each bitline object models a single physical wire).
+        precharge_size_ratio: Precharge device width relative to the cell
+            access transistor at the baseline row count.
+    """
+
+    tech: TechnologyNode
+    rows: int
+    ports: int = 1
+    precharge_size_ratio: float = DEFAULT_SIZE_RATIO
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0:
+            raise ValueError("a bitline needs at least one attached row")
+        if self.ports < 1:
+            raise ValueError("ports must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    @property
+    def cell(self) -> SRAMCell:
+        """The SRAM cell model attached to this bitline."""
+        return SRAMCell(tech=self.tech, ports=self.ports)
+
+    @property
+    def precharge_device(self) -> PrechargeDevice:
+        """The precharge device at the top of this bitline.
+
+        The device is sized to the bitline load: its width grows
+        sub-linearly (exponent 0.6) with the number of attached rows so
+        that longer bitlines of bigger subarrays are pulled up in a
+        comparable, though still longer, time (Table 3).
+        """
+        scale = (self.rows / BASELINE_ROWS) ** 0.6
+        return PrechargeDevice.sized_from_cell(
+            tech=self.tech,
+            cell_access_width_um=self.cell.access_width_um,
+            size_ratio=self.precharge_size_ratio * scale,
+        )
+
+    @property
+    def wire(self) -> Wire:
+        """The bitline metal wire spanning all attached rows."""
+        length_um = self.rows * CELL_HEIGHT_IN_FEATURES * self.tech.feature_size_um
+        return Wire(tech=self.tech, length_um=length_um)
+
+    # ------------------------------------------------------------------
+    # Capacitance and stored energy
+    # ------------------------------------------------------------------
+    @property
+    def capacitance_f(self) -> float:
+        """Total bitline capacitance in farads."""
+        cell_caps = self.rows * self.cell.drain_cap_ff * 1e-15
+        fixed = (
+            _FIXED_LOAD_FF_180
+            * (self.tech.feature_size_nm / 180.0)
+            * 1e-15
+        )
+        return cell_caps + self.wire.capacitance_f + fixed
+
+    @property
+    def stored_energy_j(self) -> float:
+        """Energy (J) stored on a fully precharged bitline."""
+        vdd = self.tech.supply_voltage
+        return 0.5 * self.capacitance_f * vdd * vdd
+
+    # ------------------------------------------------------------------
+    # Leakage / discharge
+    # ------------------------------------------------------------------
+    @property
+    def leakage_current_a(self) -> float:
+        """Total leakage current (A) drawn from a fully pulled-up bitline."""
+        return self.rows * self.cell.bitline_leakage_current_a
+
+    @property
+    def static_discharge_power_w(self) -> float:
+        """Bitline discharge power (W) under static pull-up.
+
+        This is the continuous waste the paper attacks: the leakage current
+        flowing from the supply, through the precharge device, down the
+        bitline and through the off cell transistors to ground.
+        """
+        return self.leakage_current_a * self.tech.supply_voltage
+
+    @property
+    def leakage_conductance_s(self) -> float:
+        """Effective leakage conductance (Siemens) seen by the bitline."""
+        return self.leakage_current_a / self.tech.supply_voltage
+
+    @property
+    def decay_time_constant_s(self) -> float:
+        """RC time constant (s) of an isolated bitline's voltage decay."""
+        return self.capacitance_f / self.leakage_conductance_s
+
+    def voltage_after_isolation(self, elapsed_s: float) -> float:
+        """Bitline voltage (V) ``elapsed_s`` seconds after isolation.
+
+        Exponential decay from Vdd towards ground through the cell leakage
+        paths (the steady state is approximated as fully discharged, which
+        is the worst case the paper also assumes).
+        """
+        if elapsed_s < 0:
+            raise ValueError("elapsed time must be non-negative")
+        return self.tech.supply_voltage * exp(-elapsed_s / self.decay_time_constant_s)
+
+    def isolated_discharge_energy_j(self, idle_s: float) -> float:
+        """Energy (J) dissipated through an isolated bitline over ``idle_s``.
+
+        Integrates ``G * V(t)^2`` over the idle interval.  For short idle
+        intervals this approaches the static-pull-up discharge (no saving);
+        for long intervals it is bounded by the charge stored on the
+        bitline — this is exactly why the oracle of Section 4 does not
+        remove 100% of the discharge.
+        """
+        if idle_s < 0:
+            raise ValueError("idle interval must be non-negative")
+        tau = self.decay_time_constant_s
+        vdd = self.tech.supply_voltage
+        g = self.leakage_conductance_s
+        return g * vdd * vdd * (tau / 2.0) * (1.0 - exp(-2.0 * idle_s / tau))
+
+    def static_discharge_energy_j(self, interval_s: float) -> float:
+        """Energy (J) dissipated under static pull-up over ``interval_s``."""
+        if interval_s < 0:
+            raise ValueError("interval must be non-negative")
+        return self.static_discharge_power_w * interval_s
+
+    # ------------------------------------------------------------------
+    # Precharge timing and energy
+    # ------------------------------------------------------------------
+    @property
+    def worst_case_pull_up_s(self) -> float:
+        """Time (s) to pull up a fully discharged bitline to Vdd.
+
+        This is the Table 3 "worst-case bitline pull-up": the relevant
+        delay when an isolated (hence possibly fully discharged) subarray
+        must be precharged on demand.
+        """
+        raw = self.precharge_device.pull_up_time_s(
+            bitline_cap_f=self.capacitance_f,
+            swing_v=self.tech.supply_voltage,
+        )
+        return _PULL_UP_CALIBRATION * raw
+
+    @property
+    def active_read_restore_s(self) -> float:
+        """Time (s) to restore the small swing left by an active cell read.
+
+        An active read only develops a 0.1-0.2 V differential, so restoring
+        it is fast and overlaps with address decode — this is why blind
+        static pull-up has no latency cost (Section 5).
+        """
+        from .sram_cell import READ_DISCHARGE_SWING_V
+
+        raw = self.precharge_device.pull_up_time_s(
+            bitline_cap_f=self.capacitance_f,
+            swing_v=READ_DISCHARGE_SWING_V,
+        )
+        return _PULL_UP_CALIBRATION * raw
+
+    def recharge_energy_j(self, idle_s: float) -> float:
+        """Energy (J) drawn from the supply to re-precharge after ``idle_s`` idle.
+
+        The bitline decayed by ``Vdd - V(idle_s)``; recharging it draws
+        ``C * Vdd * dV`` from the supply.
+        """
+        dv = self.tech.supply_voltage - self.voltage_after_isolation(idle_s)
+        return self.capacitance_f * self.tech.supply_voltage * dv
+
+    @property
+    def isolation_toggle_energy_j(self) -> float:
+        """Gate-switching energy (J) of one isolate/precharge toggle pair."""
+        return 2.0 * self.precharge_device.switching_energy_j

@@ -1,0 +1,151 @@
+"""CACTI-style three-stage cache address decoder timing model.
+
+Figure 4 of the paper breaks the cache decoder into three stages:
+
+1. **Decoder drive** — the address is driven from the cache input across
+   the array to the per-subarray decoders (dominated by wire/driver
+   loading that grows with the number of subarrays).
+2. **Predecode** — each subarray splits the address into 3-bit groups and
+   produces 8-bit one-hot codes via 3-to-8 decoders.
+3. **Final decode** — NOR gates combine the one-hot codes and fire the
+   selected wordline driver.
+
+*Partial* address decoding — the mechanism on-demand precharging would use
+to identify the accessed subarray — needs stage 1 and stage 2 (and, when
+the cache has more than eight subarrays, part of stage 3's combining).
+The time left to pull up an isolated bitline before the wordline fires is
+therefore at most the stage-3 delay.  Table 3 shows that the worst-case
+bitline pull-up always exceeds this margin, which is the paper's argument
+that on-demand precharging costs a cycle.
+
+The stage delays are expressed in FO4 units with loading terms that depend
+on the number of subarrays and rows, calibrated to track Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2
+
+from .technology import TechnologyNode
+
+__all__ = ["DecoderTiming", "decoder_timing"]
+
+#: FO4 counts for the three stages: a fixed intrinsic part plus a term
+#: growing with log2 of the relevant fan-out/fan-in.
+_DRIVE_BASE_FO4 = 1.0
+_DRIVE_PER_LOG2_SUBARRAY_FO4 = 0.6
+_PREDECODE_BASE_FO4 = 2.5
+_PREDECODE_PER_LOG2_SUBARRAY_FO4 = 0.4
+_FINAL_BASE_FO4 = 2.2
+_FINAL_PER_LOG2_SUBARRAY_FO4 = 0.2
+
+#: Wires scale slightly worse than gates; each successive generation adds
+#: this relative amount to every stage's FO4 count.
+_WIRE_PENALTY_PER_GENERATION = 0.05
+
+#: Maximum number of subarrays whose identification completes exactly at
+#: the end of predecode; beyond this the partial decode needs extra
+#: combining NOR levels (Section 5).
+MAX_SUBARRAYS_WITHOUT_COMBINE = 8
+
+#: Extra FO4 per doubling of subarrays beyond eight, spent combining
+#: predecode outputs to identify the accessed subarray.
+_COMBINE_PER_LOG2_FO4 = 0.5
+
+
+@dataclass(frozen=True)
+class DecoderTiming:
+    """Decode-stage delays for one cache organisation and technology.
+
+    All delays are in seconds.
+
+    Attributes:
+        tech: Technology node.
+        n_subarrays: Number of subarrays in the cache.
+        rows_per_subarray: Number of wordlines in each subarray.
+        decode_drive_s: Stage-1 delay.
+        predecode_s: Stage-2 delay.
+        final_decode_s: Stage-3 delay.
+        subarray_identify_s: Delay until partial decoding has identified
+            the accessed subarray (stage 1 + stage 2 + any extra combining).
+    """
+
+    tech: TechnologyNode
+    n_subarrays: int
+    rows_per_subarray: int
+    decode_drive_s: float
+    predecode_s: float
+    final_decode_s: float
+    subarray_identify_s: float
+
+    @property
+    def total_decode_s(self) -> float:
+        """Full address decode latency (all three stages) in seconds."""
+        return self.decode_drive_s + self.predecode_s + self.final_decode_s
+
+    @property
+    def precharge_margin_s(self) -> float:
+        """Time available to precharge after the subarray is identified.
+
+        This is the slack between partial-decode completion and wordline
+        assertion — the window into which on-demand precharging must fit.
+        """
+        return self.total_decode_s - self.subarray_identify_s
+
+    def on_demand_fits(self, pull_up_s: float) -> bool:
+        """Whether a worst-case pull-up of ``pull_up_s`` hides in the margin."""
+        return pull_up_s <= self.precharge_margin_s
+
+
+def decoder_timing(
+    tech: TechnologyNode,
+    n_subarrays: int,
+    rows_per_subarray: int,
+) -> DecoderTiming:
+    """Compute the three-stage decode delays for a cache organisation.
+
+    Args:
+        tech: Technology node.
+        n_subarrays: Number of subarrays the cache is divided into.
+        rows_per_subarray: Wordlines per subarray.
+
+    Returns:
+        A :class:`DecoderTiming` with per-stage delays in seconds.
+
+    Raises:
+        ValueError: if the organisation is degenerate.
+    """
+    if n_subarrays < 1:
+        raise ValueError("a cache needs at least one subarray")
+    if rows_per_subarray < 1:
+        raise ValueError("a subarray needs at least one row")
+
+    fo4_s = tech.fo4_delay_ps * 1e-12
+    wire_penalty = 1.0 + _WIRE_PENALTY_PER_GENERATION * tech.generation_index
+    log_sub = log2(max(n_subarrays, 1)) if n_subarrays > 1 else 0.0
+
+    drive = (_DRIVE_BASE_FO4 + _DRIVE_PER_LOG2_SUBARRAY_FO4 * log_sub) * fo4_s
+    predecode = (
+        _PREDECODE_BASE_FO4 + _PREDECODE_PER_LOG2_SUBARRAY_FO4 * log_sub
+    ) * fo4_s
+    final = (_FINAL_BASE_FO4 + _FINAL_PER_LOG2_SUBARRAY_FO4 * log_sub) * fo4_s
+
+    drive *= wire_penalty
+    predecode *= wire_penalty
+    final *= wire_penalty
+
+    identify = drive + predecode
+    if n_subarrays > MAX_SUBARRAYS_WITHOUT_COMBINE:
+        extra_levels = log2(n_subarrays / MAX_SUBARRAYS_WITHOUT_COMBINE)
+        identify += _COMBINE_PER_LOG2_FO4 * extra_levels * fo4_s * wire_penalty
+
+    return DecoderTiming(
+        tech=tech,
+        n_subarrays=n_subarrays,
+        rows_per_subarray=rows_per_subarray,
+        decode_drive_s=drive,
+        predecode_s=predecode,
+        final_decode_s=final,
+        subarray_identify_s=identify,
+    )

@@ -1,0 +1,94 @@
+"""Bitline precharge / equalisation device model.
+
+The precharge devices sit between the supply rail and the bitlines
+(Figure 1).  Two of their properties matter for the paper's trade-offs:
+
+* They are *large* — "typically an order of magnitude larger than cell
+  transistors" — so toggling them (as bitline isolation must do) costs
+  significant gate-switching energy, and induces a current spike on the
+  bitlines (Figure 2 / Section 4).
+* Their size sets the worst-case bitline pull-up delay (Table 3): a
+  bigger device pulls up faster but costs more switching energy and,
+  because static pull-up fights the cell's read current, slows the read
+  differential development if made too big.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .technology import TechnologyNode
+
+__all__ = ["PrechargeDevice", "DEFAULT_SIZE_RATIO"]
+
+#: Paper assumption (Section 5): precharge devices are a factor of ten
+#: larger than the cell transistors.
+DEFAULT_SIZE_RATIO = 10.0
+
+
+@dataclass(frozen=True)
+class PrechargeDevice:
+    """A PMOS precharge device on one bitline.
+
+    Attributes:
+        tech: Technology node.
+        width_um: Drawn width of the device in microns.
+    """
+
+    tech: TechnologyNode
+    width_um: float
+
+    @classmethod
+    def sized_from_cell(
+        cls,
+        tech: TechnologyNode,
+        cell_access_width_um: float,
+        size_ratio: float = DEFAULT_SIZE_RATIO,
+    ) -> "PrechargeDevice":
+        """Size the device as ``size_ratio`` times the cell access transistor."""
+        if size_ratio <= 0:
+            raise ValueError("size_ratio must be positive")
+        return cls(tech=tech, width_um=cell_access_width_um * size_ratio)
+
+    # ------------------------------------------------------------------
+    # Switching (isolation toggle) cost
+    # ------------------------------------------------------------------
+    @property
+    def gate_cap_f(self) -> float:
+        """Gate capacitance of the device in farads."""
+        return self.tech.gate_cap_ff_per_um * self.width_um * 1e-15
+
+    @property
+    def switching_energy_j(self) -> float:
+        """Energy (J) to toggle the device's gate once (on->off or off->on)."""
+        vdd = self.tech.supply_voltage
+        return 0.5 * self.gate_cap_f * vdd * vdd
+
+    # ------------------------------------------------------------------
+    # Drive strength
+    # ------------------------------------------------------------------
+    @property
+    def drive_current_a(self) -> float:
+        """Pull-up drive current (A) when the device is on."""
+        # PMOS drive per um is roughly half of NMOS.
+        ion_a_per_um = 0.5 * self.tech.on_current_ua_per_um * 1e-6
+        return ion_a_per_um * self.width_um
+
+    def pull_up_time_s(self, bitline_cap_f: float, swing_v: float) -> float:
+        """Time (s) to pull a bitline of capacitance ``bitline_cap_f`` up by ``swing_v``.
+
+        First-order constant-current estimate ``t = C * dV / I`` with a
+        1.6x de-rating to account for the PMOS drive degrading as the
+        bitline approaches Vdd.
+        """
+        if bitline_cap_f < 0 or swing_v < 0:
+            raise ValueError("capacitance and swing must be non-negative")
+        if swing_v == 0.0 or bitline_cap_f == 0.0:
+            return 0.0
+        return 1.6 * bitline_cap_f * swing_v / self.drive_current_a
+
+    @property
+    def off_leakage_current_a(self) -> float:
+        """Residual leakage (A) through the device when turned off."""
+        ioff_a_per_um = self.tech.leakage_current_na_per_um * 1e-9
+        return ioff_a_per_um * self.width_um

@@ -1,0 +1,48 @@
+"""Sense amplifier model.
+
+The sense amplifier detects the small differential (0.1-0.2 V) an active
+cell read develops between the two bitlines of a column and regenerates it
+to full swing for the output drivers.  For this reproduction it
+contributes a fixed per-read dynamic energy and a delay that scales with
+the FO4 inverter delay; it does not participate in the bitline-isolation
+trade-off directly, but is part of the per-access energy the relative
+savings are normalised against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .technology import TechnologyNode
+
+__all__ = ["SenseAmplifier"]
+
+#: Sense and regeneration latency expressed in FO4 inverter delays.
+_SENSE_DELAY_FO4 = 2.5
+
+#: Effective switched capacitance of one sense amplifier, in fF at 180nm
+#: (cross-coupled pair + output latch), scaling with feature size.
+_SENSE_CAP_FF_180 = 12.0
+
+
+@dataclass(frozen=True)
+class SenseAmplifier:
+    """One column sense amplifier in a given technology."""
+
+    tech: TechnologyNode
+
+    @property
+    def delay_s(self) -> float:
+        """Sense + regeneration delay in seconds."""
+        return _SENSE_DELAY_FO4 * self.tech.fo4_delay_ps * 1e-12
+
+    @property
+    def switched_cap_f(self) -> float:
+        """Effective switched capacitance (F) per sensing operation."""
+        return _SENSE_CAP_FF_180 * (self.tech.feature_size_nm / 180.0) * 1e-15
+
+    @property
+    def energy_per_read_j(self) -> float:
+        """Dynamic energy (J) of one sensing operation."""
+        vdd = self.tech.supply_voltage
+        return self.switched_cap_f * vdd * vdd

@@ -1,0 +1,107 @@
+"""6-T SRAM cell electrical model.
+
+Figure 1 of the paper shows the standard 6-T cell with precharge devices
+at the top of each bitline pair.  For the purposes of the reproduction the
+cell contributes three quantities:
+
+* the *bitline leakage* it injects into a precharged (pulled-up) bitline —
+  the subthreshold current through its off access/pull-down transistor
+  stack, which the paper identifies as the dominant waste ("76% of the
+  overall leakage dissipation in dual-ported SRAM cells");
+* the *read discharge*: the small voltage differential (0.1-0.2 V) an
+  active read develops on one bitline, which must be re-charged afterwards;
+* the *cell capacitance* it adds to the bitline (drain junction of the
+  access transistor), which sets the bitline RC together with the wire.
+
+All quantities are per bitline (i.e. per port side); a cell with ``ports``
+read/write ports has ``2 * ports`` bitlines attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .technology import TechnologyNode
+
+__all__ = ["SRAMCell", "READ_DISCHARGE_SWING_V"]
+
+#: Differential swing developed on the bitline by an active cell read, in
+#: volts.  The paper quotes 0.1-0.2 V; we use the midpoint.
+READ_DISCHARGE_SWING_V = 0.15
+
+
+@dataclass(frozen=True)
+class SRAMCell:
+    """Electrical model of one 6-T SRAM cell in a given technology.
+
+    Attributes:
+        tech: Technology node the cell is drawn in.
+        access_width_um: Width of the access (pass) transistor in microns.
+        ports: Number of read/write ports (each adds an access device and
+            a bitline pair).  The paper's L1 d-cache is dual-ported.
+    """
+
+    tech: TechnologyNode
+    access_width_um: float = 0.0
+    ports: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ports < 1:
+            raise ValueError("an SRAM cell needs at least one port")
+        if self.access_width_um <= 0.0:
+            # Default: access transistor drawn at ~1.5x minimum width.
+            object.__setattr__(
+                self, "access_width_um", 1.5 * self.tech.feature_size_um
+            )
+
+    # ------------------------------------------------------------------
+    # Leakage
+    # ------------------------------------------------------------------
+    @property
+    def bitline_leakage_current_a(self) -> float:
+        """Leakage current (A) drawn from ONE pulled-up bitline by this cell.
+
+        One of the two sides of the cell stores a '0'; the access
+        transistor on that side leaks from the precharged bitline into the
+        grounded storage node.  Only one side of a pair leaks strongly at
+        any time, so this is the per-bitline worst-side current.
+        """
+        ioff_a_per_um = self.tech.leakage_current_na_per_um * 1e-9
+        return ioff_a_per_um * self.access_width_um
+
+    @property
+    def cell_leakage_power_w(self) -> float:
+        """Static power (W) leaked through bitlines of all ports of the cell."""
+        per_bitline = self.bitline_leakage_current_a * self.tech.supply_voltage
+        return per_bitline * self.ports
+
+    # ------------------------------------------------------------------
+    # Capacitance contributed to the bitline
+    # ------------------------------------------------------------------
+    @property
+    def drain_cap_ff(self) -> float:
+        """Drain junction capacitance (fF) one cell adds to one bitline."""
+        # Junction cap is of the same order as gate cap for the same width.
+        return 0.6 * self.tech.gate_cap_ff_per_um * self.access_width_um
+
+    # ------------------------------------------------------------------
+    # Read discharge
+    # ------------------------------------------------------------------
+    def read_discharge_energy_j(self, bitline_cap_f: float) -> float:
+        """Energy (J) to restore one bitline after an active cell read.
+
+        An active read discharges the bitline by ``READ_DISCHARGE_SWING_V``;
+        restoring it costs ``C * Vdd * dV`` drawn from the supply.
+
+        Args:
+            bitline_cap_f: Total capacitance of the bitline, in farads.
+        """
+        return bitline_cap_f * self.tech.supply_voltage * READ_DISCHARGE_SWING_V
+
+    @property
+    def read_current_a(self) -> float:
+        """Cell read current (A) discharging the bitline during a read."""
+        ion_a_per_um = self.tech.on_current_ua_per_um * 1e-6
+        # The cell pulls through the series access/driver stack; the
+        # effective strength is roughly half the access device's Ion.
+        return 0.5 * ion_a_per_um * self.access_width_um

@@ -1,0 +1,211 @@
+"""Subarray-level aggregation of the circuit models.
+
+A *subarray* is the unit at which precharge control is applied.  This
+module aggregates the per-bitline/per-column circuit quantities into the
+per-subarray numbers the architectural energy accounting consumes:
+
+* static bitline-discharge energy per cycle when the subarray is pulled up;
+* residual discharge energy over an isolated interval of N cycles;
+* energy to toggle the subarray's precharge devices (isolate + restore);
+* dynamic energy of one access (decode + sense + read restore);
+* worst-case pull-up latency in cycles (i.e. the penalty paid when an
+  isolated subarray is accessed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from math import ceil
+
+from .bitline import Bitline
+from .decoder import DecoderTiming, decoder_timing
+from .sense_amp import SenseAmplifier
+from .technology import TechnologyNode, get_technology
+
+__all__ = ["SubarrayCircuit", "subarray_circuit"]
+
+
+@dataclass(frozen=True)
+class SubarrayCircuit:
+    """Circuit-level characterisation of one cache subarray.
+
+    Attributes:
+        tech: Technology node.
+        subarray_bytes: Capacity of the subarray in bytes.
+        line_bytes: Cache line (and row) width in bytes.
+        ports: Number of read/write ports.
+        n_subarrays: Number of subarrays in the whole cache (needed for
+            the decoder timing and partial-decode margin).
+    """
+
+    tech: TechnologyNode
+    subarray_bytes: int
+    line_bytes: int
+    ports: int
+    n_subarrays: int
+
+    def __post_init__(self) -> None:
+        if self.subarray_bytes < self.line_bytes:
+            raise ValueError("a subarray must hold at least one cache line")
+        if self.line_bytes <= 0:
+            raise ValueError("line size must be positive")
+        if self.ports < 1:
+            raise ValueError("ports must be >= 1")
+        if self.n_subarrays < 1:
+            raise ValueError("n_subarrays must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Number of wordlines (one cache line per row)."""
+        return self.subarray_bytes // self.line_bytes
+
+    @property
+    def columns(self) -> int:
+        """Number of bit columns in the subarray."""
+        return self.line_bytes * 8
+
+    @property
+    def bitlines_per_column(self) -> int:
+        """Physical bitlines per column (a pair per port)."""
+        return 2 * self.ports
+
+    @property
+    def total_bitlines(self) -> int:
+        """Total physical bitlines in the subarray."""
+        return self.columns * self.bitlines_per_column
+
+    # ------------------------------------------------------------------
+    # Component models
+    # ------------------------------------------------------------------
+    @property
+    def bitline(self) -> Bitline:
+        """The representative bitline of this subarray."""
+        return Bitline(tech=self.tech, rows=self.rows, ports=self.ports)
+
+    @property
+    def sense_amp(self) -> SenseAmplifier:
+        """The column sense amplifier."""
+        return SenseAmplifier(tech=self.tech)
+
+    @property
+    def decoder(self) -> DecoderTiming:
+        """Decoder timing for the cache this subarray belongs to."""
+        return decoder_timing(
+            tech=self.tech,
+            n_subarrays=self.n_subarrays,
+            rows_per_subarray=self.rows,
+        )
+
+    # ------------------------------------------------------------------
+    # Static (discharge) energy
+    # ------------------------------------------------------------------
+    @property
+    def static_discharge_power_w(self) -> float:
+        """Bitline discharge power (W) of the whole subarray when pulled up."""
+        return self.total_bitlines * self.bitline.static_discharge_power_w
+
+    @property
+    def static_discharge_energy_per_cycle_j(self) -> float:
+        """Bitline discharge energy (J) per clock cycle when pulled up."""
+        return self.static_discharge_power_w * self.tech.cycle_time_s
+
+    def isolated_discharge_energy_j(self, idle_cycles: float) -> float:
+        """Residual bitline discharge (J) over ``idle_cycles`` of isolation.
+
+        The discharge decays with the bitline RC; short isolations save
+        little, long isolations are bounded by the stored bitline charge.
+        """
+        if idle_cycles < 0:
+            raise ValueError("idle_cycles must be non-negative")
+        idle_s = idle_cycles * self.tech.cycle_time_s
+        return self.total_bitlines * self.bitline.isolated_discharge_energy_j(idle_s)
+
+    # ------------------------------------------------------------------
+    # Isolation toggle overhead
+    # ------------------------------------------------------------------
+    @property
+    def toggle_switching_energy_j(self) -> float:
+        """Gate energy (J) of one isolate-then-restore toggle of all devices."""
+        return self.total_bitlines * self.bitline.isolation_toggle_energy_j
+
+    def recharge_energy_j(self, idle_cycles: float) -> float:
+        """Supply energy (J) to re-precharge all bitlines after isolation."""
+        if idle_cycles < 0:
+            raise ValueError("idle_cycles must be non-negative")
+        idle_s = idle_cycles * self.tech.cycle_time_s
+        return self.total_bitlines * self.bitline.recharge_energy_j(idle_s)
+
+    # ------------------------------------------------------------------
+    # Dynamic access energy
+    # ------------------------------------------------------------------
+    @property
+    def read_access_energy_j(self) -> float:
+        """Dynamic energy (J) of one read access to this subarray.
+
+        Includes wordline/decode switching, the read restore of every
+        active bitline pair, and the sense amplifiers.
+        """
+        vdd = self.tech.supply_voltage
+        bl = self.bitline
+        restore = self.columns * self.ports * bl.cell.read_discharge_energy_j(
+            bl.capacitance_f
+        )
+        sensing = self.columns * self.sense_amp.energy_per_read_j
+        # Decode + wordline: approximate as switching a wordline wire across
+        # all columns plus a decoder gate per address bit.
+        wordline_cap = (
+            self.columns
+            * self.tech.gate_cap_ff_per_um
+            * 2.0
+            * self.tech.feature_size_um
+            * 1e-15
+        )
+        decode = 4.0 * wordline_cap * vdd * vdd
+        return restore + sensing + decode
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    @property
+    def worst_case_pull_up_s(self) -> float:
+        """Worst-case bitline pull-up time in seconds (Table 3)."""
+        return self.bitline.worst_case_pull_up_s
+
+    @property
+    def pull_up_cycles(self) -> int:
+        """Extra cycles to access an isolated (possibly discharged) subarray.
+
+        Table 3 shows the pull-up always exceeds the final-decode margin,
+        so an access to an isolated subarray pays at least one extra cycle.
+        """
+        margin = self.decoder.precharge_margin_s
+        excess = self.worst_case_pull_up_s - margin
+        if excess <= 0:
+            return 0
+        return max(1, int(ceil(excess / self.tech.cycle_time_s)))
+
+
+@lru_cache(maxsize=None)
+def subarray_circuit(
+    feature_size_nm: int,
+    subarray_bytes: int,
+    line_bytes: int = 32,
+    ports: int = 1,
+    n_subarrays: int = 32,
+) -> SubarrayCircuit:
+    """Cached constructor for :class:`SubarrayCircuit`.
+
+    The architectural simulator asks for the same handful of
+    configurations millions of times; caching keeps that cheap.
+    """
+    return SubarrayCircuit(
+        tech=get_technology(feature_size_nm),
+        subarray_bytes=subarray_bytes,
+        line_bytes=line_bytes,
+        ports=ports,
+        n_subarrays=n_subarrays,
+    )

@@ -1,0 +1,57 @@
+"""Wire (interconnect) RC models used by the bitline and decoder models.
+
+The paper assumes (citing Ho, Mai & Horowitz) that wires which scale in
+length track gate-delay scaling between 180nm and 50nm, keeping the
+pipeline depth and structure access penalties constant in cycles.  We
+model wires with simple distributed-RC expressions; their parameters come
+from :class:`repro.circuits.technology.TechnologyNode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .technology import TechnologyNode
+
+__all__ = ["Wire"]
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A wire segment of a given length in a given technology.
+
+    Attributes:
+        tech: Technology node.
+        length_um: Wire length in microns.
+    """
+
+    tech: TechnologyNode
+    length_um: float
+
+    def __post_init__(self) -> None:
+        if self.length_um < 0:
+            raise ValueError("wire length must be non-negative")
+
+    @property
+    def capacitance_f(self) -> float:
+        """Total wire capacitance in farads."""
+        return self.tech.wire_cap_ff_per_um * self.length_um * 1e-15
+
+    @property
+    def resistance_ohm(self) -> float:
+        """Total wire resistance in ohms."""
+        return self.tech.wire_res_ohm_per_um * self.length_um
+
+    @property
+    def elmore_delay_s(self) -> float:
+        """Distributed-RC (Elmore) delay of the unloaded wire, in seconds."""
+        return 0.5 * self.resistance_ohm * self.capacitance_f
+
+    def delay_with_load_s(self, load_cap_f: float, driver_res_ohm: float) -> float:
+        """Elmore delay (s) including a lumped load and a resistive driver."""
+        r_w = self.resistance_ohm
+        c_w = self.capacitance_f
+        return (
+            driver_res_ohm * (c_w + load_cap_f)
+            + r_w * (0.5 * c_w + load_cap_f)
+        )

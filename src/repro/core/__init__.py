@@ -1,0 +1,54 @@
+"""Precharge-control policies: the paper's contribution and its baselines.
+
+* :class:`~repro.core.static_pullup.StaticPullUpPolicy` — conventional
+  blind static pull-up (the normalisation baseline);
+* :class:`~repro.core.oracle.OraclePrechargePolicy` — the Section 4
+  potential study (perfect, zero-delay subarray identification);
+* :class:`~repro.core.on_demand.OnDemandPrechargePolicy` — Section 5
+  partial-address-decode precharging (+1 cycle on every access);
+* :class:`~repro.core.gated.GatedPrechargePolicy` — Section 6 gated
+  precharging with decay counters and optional predecoding;
+* :class:`~repro.core.resizable.ResizableCachePolicy` — the prior-work
+  resizable-cache baseline compared against in Figure 9;
+* :mod:`~repro.core.threshold` — per-benchmark optimum / constant
+  threshold selection;
+* :mod:`~repro.core.decay_counter` — the Figure 7 hardware structure;
+* :mod:`~repro.core.predecode` — base-register subarray prediction.
+"""
+
+from .decay_counter import DEFAULT_COUNTER_BITS, DecayCounter, counter_energy_fraction
+from .gated import DEFAULT_THRESHOLD, GatedPrechargePolicy
+from .on_demand import OnDemandPrechargePolicy
+from .oracle import OraclePrechargePolicy
+from .policies import BasePrechargePolicy, PolicyStats
+from .predecode import Predecoder, PredecodeStats
+from .resizable import ResizableCachePolicy
+from .static_pullup import StaticPullUpPolicy
+from .threshold import (
+    CANDIDATE_THRESHOLDS,
+    CONSTANT_THRESHOLD,
+    PERFORMANCE_BUDGET,
+    ThresholdProfile,
+    select_threshold,
+)
+
+__all__ = [
+    "DEFAULT_COUNTER_BITS",
+    "DecayCounter",
+    "counter_energy_fraction",
+    "DEFAULT_THRESHOLD",
+    "GatedPrechargePolicy",
+    "OnDemandPrechargePolicy",
+    "OraclePrechargePolicy",
+    "BasePrechargePolicy",
+    "PolicyStats",
+    "Predecoder",
+    "PredecodeStats",
+    "ResizableCachePolicy",
+    "StaticPullUpPolicy",
+    "CANDIDATE_THRESHOLDS",
+    "CONSTANT_THRESHOLD",
+    "PERFORMANCE_BUDGET",
+    "ThresholdProfile",
+    "select_threshold",
+]

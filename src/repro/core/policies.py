@@ -1,0 +1,203 @@
+"""Precharge-control policy base class.
+
+Every precharge scheme the paper studies — blind static pull-up, the
+oracle potential study, on-demand (partial-address-decode) precharging,
+gated precharging and the resizable-cache baseline — is expressed as a
+policy object plugged into a :class:`repro.cache.SetAssociativeCache`.
+
+The cache notifies the policy of every access (subarray index, cycle, and
+optionally the base-register address for predecoding); the policy answers
+with the extra latency that access pays and keeps the cache's
+:class:`~repro.cache.energy_accounting.EnergyLedger` informed of how long
+each subarray spent pulled up or isolated and how often its precharge
+devices were toggled.
+
+Accounting is performed lazily, per inter-access gap, which is exact for
+all the policies implemented here and avoids a per-cycle, per-subarray
+simulation loop.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from repro.cache.energy_accounting import EnergyLedger
+from repro.circuits.cacti import CacheOrganization
+
+__all__ = ["BasePrechargePolicy", "PolicyStats"]
+
+
+class PolicyStats:
+    """Counters shared by every precharge policy."""
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.delayed_accesses = 0
+        self.penalty_cycles = 0
+        self.toggles = 0
+        self.predecode_hits = 0
+        self.predecode_attempts = 0
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of accesses that found their subarray precharged."""
+        if self.accesses == 0:
+            return 1.0
+        return 1.0 - self.delayed_accesses / self.accesses
+
+    @property
+    def predecode_accuracy(self) -> float:
+        """Fraction of predecode attempts that identified the right subarray."""
+        if self.predecode_attempts == 0:
+            return 0.0
+        return self.predecode_hits / self.predecode_attempts
+
+
+class BasePrechargePolicy(ABC):
+    """Common machinery for precharge-control policies.
+
+    Subclasses implement :meth:`_on_access`, which receives the subarray,
+    the current cycle and the gap since that subarray's previous access,
+    performs the residency accounting for the elapsed gap and returns the
+    extra latency the access pays.
+    """
+
+    def __init__(self) -> None:
+        self.organization: Optional[CacheOrganization] = None
+        self.ledger: Optional[EnergyLedger] = None
+        self.stats = PolicyStats()
+        self._last_access: List[Optional[int]] = []
+        self._penalty_cycles_per_miss = 1
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # PrechargeController protocol
+    # ------------------------------------------------------------------
+    def attach(self, organization: CacheOrganization, ledger: EnergyLedger) -> None:
+        """Bind the policy to a cache organisation and its energy ledger."""
+        self.organization = organization
+        self.ledger = ledger
+        self._last_access = [None] * organization.n_subarrays
+        self._penalty_cycles_per_miss = max(
+            1, organization.isolated_access_penalty_cycles
+        )
+        self._finalized = False
+        self._on_attach()
+
+    def access(
+        self,
+        subarray: int,
+        cycle: int,
+        base_address: Optional[int] = None,
+        address: Optional[int] = None,
+    ) -> int:
+        """Record an access and return the extra latency it pays (cycles)."""
+        self._require_attached()
+        self.stats.accesses += 1
+        previous = self._last_access[subarray]
+        # A subarray that has never been accessed has been sitting in its
+        # reset state (precharged, with the policy applied) since cycle 0;
+        # treat the elapsed time as a normal inter-access gap.
+        gap = cycle if previous is None else max(0, cycle - previous)
+        penalty = self._on_access(
+            subarray, cycle, gap, base_address=base_address, address=address
+        )
+        self._last_access[subarray] = cycle
+        if penalty > 0:
+            self.stats.delayed_accesses += 1
+            self.stats.penalty_cycles += penalty
+        return penalty
+
+    def note_outcome(self, hit: bool, cycle: int) -> None:
+        """Hit/miss feedback; only the resizable baseline uses it."""
+        return None
+
+    def remap_set(self, set_index: int, n_sets: int) -> int:
+        """Set-index remapping hook; identity for every policy but resizable."""
+        return set_index
+
+    def finalize(self, end_cycle: int) -> None:
+        """Close every subarray's open residency interval at ``end_cycle``."""
+        self._require_attached()
+        if self._finalized:
+            return
+        self._finalized = True
+        assert self.organization is not None
+        for subarray in range(self.organization.n_subarrays):
+            last = self._last_access[subarray]
+            start = 0 if last is None else last
+            remaining = max(0, end_cycle - start)
+            self._on_finalize_subarray(subarray, remaining, last is None)
+
+    def precharged_subarrays(self, cycle: int) -> int:
+        """Number of subarrays precharged at ``cycle`` (policy-specific)."""
+        self._require_attached()
+        assert self.organization is not None
+        count = 0
+        for subarray in range(self.organization.n_subarrays):
+            if self._is_precharged(subarray, cycle):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _on_attach(self) -> None:
+        """Extra per-attach initialisation for subclasses."""
+        return None
+
+    @abstractmethod
+    def _on_access(
+        self,
+        subarray: int,
+        cycle: int,
+        gap: Optional[int],
+        base_address: Optional[int] = None,
+        address: Optional[int] = None,
+    ) -> int:
+        """Account for the elapsed gap and return the access's extra latency."""
+
+    @abstractmethod
+    def _on_finalize_subarray(
+        self, subarray: int, remaining_cycles: int, never_accessed: bool
+    ) -> None:
+        """Account for the residency between the last access and the run's end."""
+
+    @abstractmethod
+    def _is_precharged(self, subarray: int, cycle: int) -> bool:
+        """Whether the subarray is precharged at ``cycle``."""
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def _require_attached(self) -> None:
+        if self.organization is None or self.ledger is None:
+            raise RuntimeError(
+                f"{type(self).__name__} must be attached to a cache before use"
+            )
+
+    def _account_gated_interval(
+        self, subarray: int, interval: int, hold_cycles: int
+    ) -> bool:
+        """Account an interval where the subarray stays precharged ``hold_cycles``.
+
+        Returns ``True`` when the interval ended with the subarray isolated
+        (i.e. the precharge devices were toggled during the interval).
+        """
+        assert self.ledger is not None
+        if interval <= hold_cycles:
+            if interval > 0:
+                self.ledger.note_precharged_interval(subarray, interval)
+            return False
+        if hold_cycles > 0:
+            self.ledger.note_precharged_interval(subarray, hold_cycles)
+        self.ledger.note_isolated_interval(subarray, interval - hold_cycles)
+        self.ledger.note_toggle(subarray)
+        self.stats.toggles += 1
+        return True
+
+    @property
+    def penalty_cycles_per_delayed_access(self) -> int:
+        """Extra cycles paid when an access finds its subarray isolated."""
+        return self._penalty_cycles_per_miss

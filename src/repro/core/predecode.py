@@ -1,0 +1,75 @@
+"""Predecoding: early subarray identification from the base register.
+
+Section 6.3 observes that most memory instructions use displacement
+addressing (address = base + displacement) and that the displacement is
+usually small enough not to change which subarray is accessed.  The base
+register value is known right after register read — several pipeline
+stages before the effective address — so the subarray it points at can be
+precharged early, hiding the pull-up latency.
+
+The paper measures predecoding accuracy at ~80% for 1KB subarrays and
+~61% for cache-line-sized (64B here: two lines of 32B) subarrays; the
+accuracy in this reproduction is *computed*, not assumed: a prediction is
+correct exactly when the base address and the effective address fall into
+the same subarray, which depends on the workload's displacement
+distribution and the subarray size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuits.cacti import CacheOrganization
+
+__all__ = ["Predecoder", "PredecodeStats"]
+
+
+@dataclass
+class PredecodeStats:
+    """Prediction counters for a predecoder."""
+
+    attempts: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of predictions that named the right subarray."""
+        if self.attempts == 0:
+            return 0.0
+        return self.correct / self.attempts
+
+
+class Predecoder:
+    """Predicts the accessed subarray from the base-register value."""
+
+    def __init__(self, organization: CacheOrganization) -> None:
+        self.organization = organization
+        self.stats = PredecodeStats()
+
+    def predict(self, base_address: int) -> int:
+        """Subarray the base register points at."""
+        return self.organization.subarray_for_address(base_address)
+
+    def predicts_correctly(
+        self, base_address: Optional[int], actual_subarray: int
+    ) -> bool:
+        """Run one prediction and record whether it was correct.
+
+        Args:
+            base_address: Base-register value, or ``None`` when the access
+                does not use displacement addressing (no prediction made).
+            actual_subarray: Subarray the effective address actually maps to.
+
+        Returns:
+            ``True`` when a prediction was made and named the right
+            subarray; ``False`` otherwise.
+        """
+        if base_address is None:
+            return False
+        predicted = self.predict(base_address)
+        self.stats.attempts += 1
+        correct = predicted == actual_subarray
+        if correct:
+            self.stats.correct += 1
+        return correct

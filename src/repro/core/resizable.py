@@ -1,0 +1,192 @@
+"""Resizable-cache baseline (Yang et al., HPCA 2002).
+
+Resizable caches exploit the variability in cache-size demand across and
+within applications: every interval (the paper quotes roughly one million
+instructions) the cache's miss ratio is examined and the number of
+*active* subarrays is grown or shrunk; inactive subarrays have their
+bitlines isolated.  Because the active subarrays use plain static pull-up
+and the precharge devices toggle only at interval boundaries, the
+switching overhead is amortised and accesses never pay a pull-up penalty —
+but the coarse granularity leaves most of the potential savings untouched
+(Section 6.4 / Figure 9), and downsizing introduces extra misses because
+data must be remapped into fewer sets.
+
+Resizing is implemented by masking high-order set-index bits, exactly the
+"vary the number of cache sets" scheme of the original proposal: with
+``k`` of ``n`` subarrays active, the set index is taken modulo
+``n_sets * k / n``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .policies import BasePrechargePolicy
+
+__all__ = ["ResizableCachePolicy"]
+
+
+class ResizableCachePolicy(BasePrechargePolicy):
+    """Interval-based cache resizing with bitline isolation of inactive subarrays."""
+
+    def __init__(
+        self,
+        interval_accesses: int = 50_000,
+        miss_ratio_slack: float = 0.02,
+        min_active_fraction: float = 0.125,
+    ) -> None:
+        """Create a resizable-cache policy.
+
+        Args:
+            interval_accesses: Number of cache accesses per resizing
+                interval.  The paper uses ~1M instructions; this default is
+                scaled to the shorter synthetic runs used here.
+            miss_ratio_slack: Additional absolute miss ratio tolerated when
+                downsizing (the performance-protection bound that keeps the
+                slowdown near 1%).
+            min_active_fraction: Smallest fraction of subarrays the cache
+                may shrink to.
+        """
+        super().__init__()
+        if interval_accesses < 1:
+            raise ValueError("interval_accesses must be positive")
+        if not 0.0 < min_active_fraction <= 1.0:
+            raise ValueError("min_active_fraction must be in (0, 1]")
+        if miss_ratio_slack < 0:
+            raise ValueError("miss_ratio_slack must be non-negative")
+        self.interval_accesses = interval_accesses
+        self.miss_ratio_slack = miss_ratio_slack
+        self.min_active_fraction = min_active_fraction
+
+        self._active_subarrays = 0
+        self._last_resize_cycle = 0
+        self._interval_hits = 0
+        self._interval_misses = 0
+        self._full_size_miss_ratio: Optional[float] = None
+        self._interval_count = 0
+        self.resize_events = 0
+        self.size_history: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _on_attach(self) -> None:
+        assert self.organization is not None
+        self._active_subarrays = self.organization.n_subarrays
+        self._last_resize_cycle = 0
+        self._interval_hits = 0
+        self._interval_misses = 0
+        self._full_size_miss_ratio = None
+        self._interval_count = 0
+        self.resize_events = 0
+        self.size_history = [self._active_subarrays]
+
+    # ------------------------------------------------------------------
+    # Set remapping: only the active portion of the cache is indexable.
+    # ------------------------------------------------------------------
+    def remap_set(self, set_index: int, n_sets: int) -> int:
+        self._require_attached()
+        assert self.organization is not None
+        total = self.organization.n_subarrays
+        active_sets = max(1, n_sets * self._active_subarrays // total)
+        return set_index % active_sets
+
+    # ------------------------------------------------------------------
+    # Access path: active subarrays are statically pulled up, so no access
+    # is ever delayed; residency is accounted at resize boundaries.
+    # ------------------------------------------------------------------
+    def _on_access(
+        self,
+        subarray: int,
+        cycle: int,
+        gap: Optional[int],
+        base_address: Optional[int] = None,
+        address: Optional[int] = None,
+    ) -> int:
+        self._maybe_resize(cycle)
+        return 0
+
+    def note_outcome(self, hit: bool, cycle: int) -> None:
+        if hit:
+            self._interval_hits += 1
+        else:
+            self._interval_misses += 1
+
+    def _maybe_resize(self, cycle: int) -> None:
+        interval_total = self._interval_hits + self._interval_misses
+        if interval_total < self.interval_accesses:
+            return
+        miss_ratio = self._interval_misses / interval_total
+        self._interval_count += 1
+
+        # The first interval runs at full size and establishes the
+        # reference miss ratio against which downsizing is judged.
+        if self._full_size_miss_ratio is None:
+            self._full_size_miss_ratio = miss_ratio
+            self._apply_resize(self._propose_size(miss_ratio), cycle)
+        else:
+            self._apply_resize(self._propose_size(miss_ratio), cycle)
+        self._interval_hits = 0
+        self._interval_misses = 0
+
+    def _propose_size(self, miss_ratio: float) -> int:
+        assert self.organization is not None
+        total = self.organization.n_subarrays
+        minimum = max(1, int(total * self.min_active_fraction))
+        reference = self._full_size_miss_ratio or 0.0
+        if miss_ratio > reference + self.miss_ratio_slack:
+            # Performance bound violated: grow back towards full size.
+            return min(total, self._active_subarrays * 2)
+        # Performance acceptable: try shrinking.
+        return max(minimum, self._active_subarrays // 2)
+
+    def _apply_resize(self, new_size: int, cycle: int) -> None:
+        assert self.organization is not None
+        assert self.ledger is not None
+        if new_size == self._active_subarrays:
+            self.size_history.append(new_size)
+            return
+        elapsed = max(0, cycle - self._last_resize_cycle)
+        self._account_interval(elapsed)
+        toggled = abs(new_size - self._active_subarrays)
+        for _ in range(toggled):
+            self.ledger.note_toggle(0)
+            self.stats.toggles += 1
+        self._active_subarrays = new_size
+        self._last_resize_cycle = cycle
+        self.resize_events += 1
+        self.size_history.append(new_size)
+
+    def _account_interval(self, elapsed_cycles: int) -> None:
+        """Charge the elapsed interval: active subarrays pulled up, rest isolated."""
+        assert self.organization is not None
+        assert self.ledger is not None
+        if elapsed_cycles <= 0:
+            return
+        total = self.organization.n_subarrays
+        for subarray in range(total):
+            if subarray < self._active_subarrays:
+                self.ledger.note_precharged_interval(subarray, elapsed_cycles)
+            else:
+                self.ledger.note_isolated_interval(subarray, elapsed_cycles)
+
+    # ------------------------------------------------------------------
+    def finalize(self, end_cycle: int) -> None:
+        self._require_attached()
+        if self._finalized:
+            return
+        self._finalized = True
+        elapsed = max(0, end_cycle - self._last_resize_cycle)
+        self._account_interval(elapsed)
+
+    def _on_finalize_subarray(
+        self, subarray: int, remaining_cycles: int, never_accessed: bool
+    ) -> None:  # pragma: no cover - finalize() is overridden wholesale
+        return None
+
+    def _is_precharged(self, subarray: int, cycle: int) -> bool:
+        return subarray < self._active_subarrays
+
+    # ------------------------------------------------------------------
+    @property
+    def active_subarrays(self) -> int:
+        """Number of subarrays currently powered and indexable."""
+        return self._active_subarrays

@@ -1,0 +1,44 @@
+"""Blind static pull-up: the conventional high-performance baseline.
+
+Every subarray's bitlines are statically connected to the supply at all
+times (Section 2).  No access ever pays a precharge penalty, and the
+bitline discharge of every subarray accrues on every cycle — this is the
+normalisation baseline for all the paper's relative-discharge figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .policies import BasePrechargePolicy
+
+__all__ = ["StaticPullUpPolicy"]
+
+
+class StaticPullUpPolicy(BasePrechargePolicy):
+    """Keep every subarray precharged for the entire run."""
+
+    def _on_access(
+        self,
+        subarray: int,
+        cycle: int,
+        gap: Optional[int],
+        base_address: Optional[int] = None,
+        address: Optional[int] = None,
+    ) -> int:
+        assert self.ledger is not None
+        if gap is not None and gap > 0:
+            self.ledger.note_precharged_interval(subarray, gap)
+        return 0
+
+    def _on_finalize_subarray(
+        self, subarray: int, remaining_cycles: int, never_accessed: bool
+    ) -> None:
+        assert self.ledger is not None
+        if remaining_cycles > 0:
+            self.ledger.note_precharged_interval(subarray, remaining_cycles)
+        if never_accessed:
+            return
+
+    def _is_precharged(self, subarray: int, cycle: int) -> bool:
+        return True

@@ -1,0 +1,107 @@
+"""Threshold selection for gated precharging.
+
+The adaptivity knob of gated precharging is the decay threshold: a small
+threshold isolates subarrays aggressively (more discharge saved) but
+delays more accesses.  The paper evaluates two settings (Section 6.4):
+
+* a *per-benchmark optimum* found statically from profiling, defined as
+  the most aggressive threshold whose performance degradation stays within
+  1%, and
+* a *constant* threshold of 100 cycles applied across the board.
+
+The profiling-based search here mirrors that methodology: a profiling run
+records every subarray's inter-access gap distribution, and the expected
+slowdown of a candidate threshold is estimated from the number of gaps
+that exceed it (each such gap is one delayed access) weighted by an
+effective cost per delayed access.  The most aggressive candidate whose
+estimate stays within the budget is returned; the choice can then be
+validated with a full timing simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = [
+    "ThresholdProfile",
+    "select_threshold",
+    "CANDIDATE_THRESHOLDS",
+    "CONSTANT_THRESHOLD",
+    "PERFORMANCE_BUDGET",
+]
+
+#: Candidate thresholds spanning the range the paper reports ("on the
+#: order of 10 to 1000, with most clustered around 100"), bounded by what
+#: a 10-bit decay counter can represent.
+CANDIDATE_THRESHOLDS: Sequence[int] = (10, 20, 50, 100, 200, 500, 1000)
+
+#: The across-the-board constant threshold used as a reference.
+CONSTANT_THRESHOLD = 100
+
+#: The performance-degradation budget the per-benchmark optimum must respect.
+PERFORMANCE_BUDGET = 0.01
+
+
+@dataclass(frozen=True)
+class ThresholdProfile:
+    """Profiling data needed to estimate a threshold's cost.
+
+    Attributes:
+        gaps: Every observed subarray inter-access gap, in cycles.
+        total_cycles: Length of the profiling run in cycles.
+        penalty_cycles: Pipeline cycles lost per delayed access (the
+            bitline pull-up itself is one cycle; data caches suffer an
+            additional replay cost, captured by ``replay_factor``).
+        replay_factor: Multiplier on the penalty modelling load-hit
+            speculation replays (Section 6.3); ~1 for instruction caches,
+            larger for data caches.
+        predecode_coverage: Fraction of would-be delayed accesses hidden by
+            predecoding (0 when predecoding is disabled).
+    """
+
+    gaps: Sequence[int]
+    total_cycles: int
+    penalty_cycles: int = 1
+    replay_factor: float = 1.0
+    predecode_coverage: float = 0.0
+
+    def delayed_accesses(self, threshold: int) -> int:
+        """Number of accesses that would find their subarray isolated."""
+        return sum(1 for gap in self.gaps if gap > threshold)
+
+    def estimated_slowdown(self, threshold: int) -> float:
+        """Estimated execution-time increase for a candidate threshold."""
+        if self.total_cycles <= 0:
+            raise ValueError("total_cycles must be positive")
+        delayed = self.delayed_accesses(threshold)
+        effective = delayed * (1.0 - self.predecode_coverage)
+        lost_cycles = effective * self.penalty_cycles * self.replay_factor
+        return lost_cycles / self.total_cycles
+
+
+def select_threshold(
+    profile: ThresholdProfile,
+    budget: float = PERFORMANCE_BUDGET,
+    candidates: Iterable[int] = CANDIDATE_THRESHOLDS,
+) -> int:
+    """Pick the most aggressive threshold within the performance budget.
+
+    Args:
+        profile: Profiling data from a baseline (static pull-up) run.
+        budget: Allowed estimated slowdown (the paper uses 1%).
+        candidates: Threshold values to consider, in any order.
+
+    Returns:
+        The smallest candidate whose estimated slowdown is within budget;
+        if none qualifies, the largest candidate (the most conservative).
+    """
+    ordered = sorted(set(int(c) for c in candidates))
+    if not ordered:
+        raise ValueError("need at least one candidate threshold")
+    for candidate in ordered:
+        if candidate < 1:
+            raise ValueError("thresholds must be positive")
+        if profile.estimated_slowdown(candidate) <= budget:
+            return candidate
+    return ordered[-1]

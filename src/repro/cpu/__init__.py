@@ -1,0 +1,35 @@
+"""Cycle-level out-of-order processor model (the Wattch-baseline substrate).
+
+An 8-wide, 16-stage out-of-order core with a reorder buffer, issue queue,
+load/store queue, combination branch predictor and load-hit speculation
+with selective replay — the microarchitectural mechanisms through which
+delayed cache accesses (precharge penalties) turn into the slowdown
+numbers the paper reports.
+"""
+
+from .branch_predictor import CombinationPredictor, PredictorStats, TwoBitCounter
+from .fetch import FetchEngine
+from .issue_queue import IssueQueue
+from .load_speculation import LoadHitSpeculation, ReplayStats
+from .lsq import LoadStoreQueue
+from .pipeline import OutOfOrderPipeline, PipelineConfig
+from .regfile import RenameTable
+from .rob import InFlightOp, ReorderBuffer
+from .stats import PipelineStats
+
+__all__ = [
+    "CombinationPredictor",
+    "PredictorStats",
+    "TwoBitCounter",
+    "FetchEngine",
+    "IssueQueue",
+    "LoadHitSpeculation",
+    "ReplayStats",
+    "LoadStoreQueue",
+    "OutOfOrderPipeline",
+    "PipelineConfig",
+    "RenameTable",
+    "InFlightOp",
+    "ReorderBuffer",
+    "PipelineStats",
+]

@@ -1,0 +1,118 @@
+"""Combination (tournament) branch predictor.
+
+Table 2 lists a "combination" predictor: a bimodal predictor and a gshare
+(global-history) predictor arbitrated by a per-branch chooser, in the
+style of the Alpha 21264.  Direction prediction only — the branch target
+is assumed to come from a perfect BTB, so a misprediction means the
+*direction* was wrong and the front end must be redirected once the branch
+resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CombinationPredictor", "TwoBitCounter", "PredictorStats"]
+
+
+class TwoBitCounter:
+    """Classic saturating two-bit counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 1) -> None:
+        if not 0 <= value <= 3:
+            raise ValueError("two-bit counter value must be in [0, 3]")
+        self.value = value
+
+    @property
+    def taken(self) -> bool:
+        """Predicted direction."""
+        return self.value >= 2
+
+    def update(self, taken: bool) -> None:
+        """Train towards the actual outcome."""
+        if taken and self.value < 3:
+            self.value += 1
+        elif not taken and self.value > 0:
+            self.value -= 1
+
+
+@dataclass
+class PredictorStats:
+    """Prediction counters."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct direction predictions."""
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class CombinationPredictor:
+    """Bimodal + gshare with a chooser table."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12) -> None:
+        if table_bits < 4 or history_bits < 1:
+            raise ValueError("predictor tables too small")
+        self._table_size = 1 << table_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._bimodal = [1] * self._table_size
+        self._gshare = [1] * self._table_size
+        # Chooser: >=2 means trust gshare, <2 means trust bimodal.
+        self._chooser = [1] * self._table_size
+        self._global_history = 0
+        self.stats = PredictorStats()
+
+    # ------------------------------------------------------------------
+    def _bimodal_index(self, pc: int) -> int:
+        return (pc >> 2) & (self._table_size - 1)
+
+    def _gshare_index(self, pc: int) -> int:
+        return ((pc >> 2) ^ (self._global_history & self._history_mask)) & (
+            self._table_size - 1
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc`` (no state change)."""
+        bi = self._bimodal[self._bimodal_index(pc)] >= 2
+        gs = self._gshare[self._gshare_index(pc)] >= 2
+        use_gshare = self._chooser[self._bimodal_index(pc)] >= 2
+        return gs if use_gshare else bi
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, train and return whether the prediction was correct."""
+        bi_idx = self._bimodal_index(pc)
+        gs_idx = self._gshare_index(pc)
+        bi_pred = self._bimodal[bi_idx] >= 2
+        gs_pred = self._gshare[gs_idx] >= 2
+        use_gshare = self._chooser[bi_idx] >= 2
+        prediction = gs_pred if use_gshare else bi_pred
+
+        # Train the component counters.
+        self._bimodal[bi_idx] = _saturate(self._bimodal[bi_idx], taken)
+        self._gshare[gs_idx] = _saturate(self._gshare[gs_idx], taken)
+
+        # Train the chooser only when the components disagree.
+        if bi_pred != gs_pred:
+            self._chooser[bi_idx] = _saturate(self._chooser[bi_idx], gs_pred == taken)
+
+        self._global_history = ((self._global_history << 1) | int(taken)) & 0xFFFFFFFF
+
+        self.stats.predictions += 1
+        correct = prediction == taken
+        if not correct:
+            self.stats.mispredictions += 1
+        return correct
+
+
+def _saturate(value: int, increment: bool) -> int:
+    """Two-bit saturating update."""
+    if increment:
+        return min(3, value + 1)
+    return max(0, value - 1)

@@ -1,0 +1,108 @@
+"""Issue queue (scheduler window).
+
+Dispatched ops wait here until their source operands are ready; each cycle
+the oldest ready ops are selected up to the machine's issue width and the
+per-class port limits.  Selection is age-ordered, matching the paper's
+aggressive 8-wide baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .rob import InFlightOp
+
+__all__ = ["IssueQueue"]
+
+
+class IssueQueue:
+    """Bounded, age-ordered scheduling window."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("issue queue capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[InFlightOp] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether dispatch must stall."""
+        return len(self._entries) >= self.capacity
+
+    def push(self, op: InFlightOp) -> None:
+        """Insert a newly dispatched op (entries stay age-ordered)."""
+        if self.is_full:
+            raise RuntimeError("pushed to a full issue queue")
+        self._entries.append(op)
+
+    def reinsert(self, op: InFlightOp) -> None:
+        """Put a squashed (replayed) op back into the window.
+
+        Replayed ops keep their age, so they are inserted in sequence
+        order; the capacity check is skipped because the op never really
+        left the scheduler in a real machine.
+        """
+        index = len(self._entries)
+        for position, entry in enumerate(self._entries):
+            if entry.sequence > op.sequence:
+                index = position
+                break
+        self._entries.insert(index, op)
+
+    def select_ready(
+        self,
+        cycle: int,
+        width: int,
+        ready_cycle_of: Callable[[InFlightOp], int],
+        memory_ports: int,
+        is_memory: Callable[[InFlightOp], bool],
+    ) -> List[InFlightOp]:
+        """Select up to ``width`` ready ops, oldest first.
+
+        Args:
+            cycle: Current cycle.
+            width: Maximum ops to select.
+            ready_cycle_of: Callback giving the cycle an op's operands are
+                ready.
+            memory_ports: Maximum memory (load/store) ops selectable this
+                cycle (the d-cache port limit of Table 2).
+            is_memory: Callback identifying memory ops.
+
+        Returns:
+            The selected ops, removed from the queue.
+        """
+        selected: List[InFlightOp] = []
+        memory_used = 0
+        remaining: List[InFlightOp] = []
+        for op in self._entries:
+            if len(selected) >= width:
+                remaining.append(op)
+                continue
+            if ready_cycle_of(op) > cycle:
+                remaining.append(op)
+                continue
+            if is_memory(op):
+                if memory_used >= memory_ports:
+                    remaining.append(op)
+                    continue
+                memory_used += 1
+            selected.append(op)
+        self._entries = remaining
+        return selected
+
+    def dependents_of(self, producer: Optional[InFlightOp]) -> List[InFlightOp]:
+        """Ops in the window whose source value comes from ``producer``."""
+        if producer is None:
+            return []
+        return [
+            op
+            for op in self._entries
+            if op.producer1 is producer or op.producer2 is producer
+        ]
+
+    def occupancy(self) -> int:
+        """Number of ops waiting in the window."""
+        return len(self._entries)

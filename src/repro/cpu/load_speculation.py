@@ -1,0 +1,101 @@
+"""Load-hit speculation and selective replay (Section 6.3).
+
+Modern speculative processors issue the dependents of a load before the
+load's latency is actually known, assuming it will hit in the L1 with a
+fixed latency.  When the load takes longer — an L1 miss, or, with gated
+precharging, a subarray whose bitlines had been isolated — the
+speculatively issued dependents must be squashed and reissued.  Following
+the paper, the Pentium-4-style *selective* replay is modelled: only the
+dependents of the mispredicted load (not every younger instruction) are
+replayed.
+
+The replay machinery quantifies two costs:
+
+* the dependents' results are delayed until the load's real completion
+  (captured by re-scheduling them in the issue queue), and
+* issue bandwidth and scheduler energy are wasted on the squashed issue
+  slots (captured by counters the energy model and statistics consume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .issue_queue import IssueQueue
+from .rob import InFlightOp
+
+__all__ = ["LoadHitSpeculation", "ReplayStats"]
+
+
+@dataclass
+class ReplayStats:
+    """Counters describing load-hit misspeculation behaviour."""
+
+    speculative_loads: int = 0
+    mispredicted_loads: int = 0
+    replayed_uops: int = 0
+    wasted_issue_slots: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of loads whose latency exceeded the speculative assumption."""
+        if self.speculative_loads == 0:
+            return 0.0
+        return self.mispredicted_loads / self.speculative_loads
+
+
+class LoadHitSpeculation:
+    """Implements the latency-speculation contract between loads and dependents."""
+
+    def __init__(self, speculative_latency: int) -> None:
+        """Create the speculation model.
+
+        Args:
+            speculative_latency: The load-to-use latency the scheduler
+                assumes when issuing dependents (the L1 hit latency; a
+                design that knows every access pays an extra precharge
+                cycle — on-demand precharging — would fold it in here).
+        """
+        if speculative_latency < 1:
+            raise ValueError("speculative latency must be at least one cycle")
+        self.speculative_latency = speculative_latency
+        self.stats = ReplayStats()
+
+    def resolve_load(
+        self,
+        load: InFlightOp,
+        issue_cycle: int,
+        actual_latency: int,
+        issue_queue: IssueQueue,
+    ) -> int:
+        """Resolve a load's true latency and replay dependents if needed.
+
+        Args:
+            load: The load being issued.
+            issue_cycle: Cycle the load issues.
+            actual_latency: The load's true load-to-use latency (base cache
+                latency plus any precharge penalty and miss service time).
+            issue_queue: The scheduler window, used to find dependents that
+                would have issued under the wrong assumption.
+
+        Returns:
+            The cycle at which the load's result is genuinely available.
+        """
+        self.stats.speculative_loads += 1
+        actual_ready = issue_cycle + actual_latency
+        if actual_latency <= self.speculative_latency:
+            return actual_ready
+
+        # Misspeculation: dependents woken at the speculative latency must
+        # be squashed and reissued.  Selective (Pentium 4 style) replay
+        # touches only the dependents of this load's destination register.
+        self.stats.mispredicted_loads += 1
+        dependents = issue_queue.dependents_of(load)
+        for dependent in dependents:
+            dependent.replayed += 1
+        self.stats.replayed_uops += len(dependents)
+        # Each squashed dependent wasted one issue slot when it issued on
+        # the wrong assumption and will consume another when it reissues.
+        self.stats.wasted_issue_slots += len(dependents)
+        return actual_ready

@@ -1,0 +1,67 @@
+"""Load/store queue.
+
+The base configuration (Table 2) provides a 64-entry load/store queue.  In
+this model the LSQ bounds the number of memory operations in flight
+(dispatch stalls when it is full) and provides store-to-load forwarding:
+a load whose address matches an older, not-yet-retired store receives its
+value without a data-cache access delay (the cache is still accessed for
+the subarray/energy bookkeeping by the pipeline, which decides whether to
+apply the returned latency).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from .rob import InFlightOp
+
+__all__ = ["LoadStoreQueue"]
+
+
+class LoadStoreQueue:
+    """Bounded queue of in-flight memory operations."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("LSQ capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[Tuple[int, str, int]] = deque()  # (sequence, kind, line)
+        self.forwarded_loads = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether dispatch of a memory op must stall."""
+        return len(self._entries) >= self.capacity
+
+    def insert(self, op: InFlightOp, line_address: int) -> None:
+        """Track a dispatched memory op."""
+        if self.is_full:
+            raise RuntimeError("inserted into a full LSQ")
+        kind = op.uop.op_type
+        self._entries.append((op.sequence, kind, line_address))
+
+    def can_forward(self, load_sequence: int, line_address: int) -> bool:
+        """Whether an older in-flight store to the same line can forward."""
+        for sequence, kind, line in self._entries:
+            if sequence >= load_sequence:
+                break
+            if kind == "store" and line == line_address:
+                return True
+        return False
+
+    def note_forwarded(self) -> None:
+        """Record that a load was satisfied by forwarding."""
+        self.forwarded_loads += 1
+
+    def retire_older_than(self, sequence: int) -> None:
+        """Drop entries for ops that have committed (sequence below bound)."""
+        while self._entries and self._entries[0][0] < sequence:
+            self._entries.popleft()
+
+    def occupancy(self) -> int:
+        """Number of memory ops tracked."""
+        return len(self._entries)

@@ -1,0 +1,252 @@
+"""Cycle-level out-of-order processor model.
+
+An 8-wide, deeply pipelined (16-stage) out-of-order core in the spirit of
+the paper's modified-Wattch baseline (Table 2): 128-entry reorder buffer,
+64-entry issue queue, 64-entry load/store queue, combination branch
+predictor, load-hit speculation with Pentium-4-style selective replay, and
+L1 caches whose subarray precharge behaviour is controlled by pluggable
+policies.
+
+The model advances one cycle at a time through commit, issue/execute,
+dispatch and fetch.  It is a performance model, not a functional one: the
+workload supplies pre-decoded micro-ops with register dependences, memory
+addresses and branch outcomes, and the pipeline determines how many cycles
+they take — which is exactly what the paper's slowdown numbers require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.workloads.trace import MicroOp, OP_LOAD, OP_STORE
+
+from .branch_predictor import CombinationPredictor
+from .fetch import FetchEngine
+from .issue_queue import IssueQueue
+from .load_speculation import LoadHitSpeculation
+from .lsq import LoadStoreQueue
+from .regfile import RenameTable
+from .rob import InFlightOp, ReorderBuffer
+from .stats import PipelineStats
+
+__all__ = ["PipelineConfig", "OutOfOrderPipeline"]
+
+#: Sentinel ready-cycle for operands whose producer has not issued yet.
+_NOT_READY = 1 << 30
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Microarchitectural parameters (defaults follow Table 2).
+
+    Attributes:
+        width: Fetch/decode/issue/commit width.
+        rob_entries: Reorder buffer capacity.
+        issue_queue_entries: Scheduler window capacity.
+        lsq_entries: Load/store queue capacity.
+        memory_ports: Memory operations issued per cycle (2 RW + 2 R ports).
+        fetch_queue_size: Fetch queue capacity.
+        dispatch_latency: Front-end stages between fetch and earliest issue.
+        redirect_penalty: Front-end refill after a resolved misprediction.
+        max_registers: Architectural register count for the scoreboard.
+        speculative_extra_latency: Extra cycles the scheduler *expects*
+            loads to take beyond the L1D base latency (on-demand
+            precharging folds its known +1 cycle in here so that the
+            deterministic delay does not masquerade as misspeculation).
+        max_cycles_per_instruction: Safety bound against livelock.
+    """
+
+    width: int = 8
+    rob_entries: int = 128
+    issue_queue_entries: int = 64
+    lsq_entries: int = 64
+    memory_ports: int = 4
+    fetch_queue_size: int = 32
+    dispatch_latency: int = 3
+    redirect_penalty: int = 8
+    max_registers: int = 64
+    speculative_extra_latency: int = 0
+    max_cycles_per_instruction: int = 200
+
+
+class OutOfOrderPipeline:
+    """The simulated processor core."""
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        instruction_stream: Iterator[MicroOp],
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.hierarchy = hierarchy
+        self.stats = PipelineStats()
+        self.predictor = CombinationPredictor()
+        self.rename_table = RenameTable(self.config.max_registers)
+        self.rob = ReorderBuffer(self.config.rob_entries)
+        self.issue_queue = IssueQueue(self.config.issue_queue_entries)
+        self.lsq = LoadStoreQueue(self.config.lsq_entries)
+        self.fetch = FetchEngine(
+            instruction_stream=instruction_stream,
+            hierarchy=hierarchy,
+            predictor=self.predictor,
+            stats=self.stats,
+            fetch_width=self.config.width,
+            fetch_queue_size=self.config.fetch_queue_size,
+            redirect_penalty=self.config.redirect_penalty,
+        )
+        self.load_speculation = LoadHitSpeculation(
+            speculative_latency=hierarchy.l1d.base_latency
+            + self.config.speculative_extra_latency
+        )
+        self._cycle = 0
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        """Current simulation cycle."""
+        return self._cycle
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def _commit(self) -> None:
+        retired = self.rob.commit_ready(self._cycle, self.config.width)
+        self.stats.committed_instructions += retired
+        head = self.rob.head()
+        if head is not None:
+            self.lsq.retire_older_than(head.sequence)
+        else:
+            self.lsq.retire_older_than(self._sequence)
+
+    def _operands_ready_cycle(self, op: InFlightOp) -> int:
+        earliest = op.dispatched_cycle + self.config.dispatch_latency
+        ready = earliest
+        for producer in (op.producer1, op.producer2):
+            if producer is None:
+                continue
+            if producer.complete_cycle is None:
+                return _NOT_READY
+            ready = max(ready, producer.complete_cycle)
+        return ready
+
+    def _issue(self) -> None:
+        selected = self.issue_queue.select_ready(
+            cycle=self._cycle,
+            width=self.config.width,
+            ready_cycle_of=self._operands_ready_cycle,
+            memory_ports=self.config.memory_ports,
+            is_memory=lambda op: op.uop.is_memory,
+        )
+        for op in selected:
+            op.issued_cycle = self._cycle
+            self._execute(op)
+
+    def _execute(self, op: InFlightOp) -> None:
+        uop = op.uop
+        if uop.op_type == OP_LOAD:
+            self._execute_load(op)
+        elif uop.op_type == OP_STORE:
+            self._execute_store(op)
+        else:
+            complete = self._cycle + uop.execution_latency
+            op.complete_cycle = complete
+            if uop.is_branch and op.mispredicted_branch:
+                self.fetch.redirect(complete)
+
+    def _execute_load(self, op: InFlightOp) -> None:
+        uop = op.uop
+        self.stats.dcache_access_count += 1
+        result = self.hierarchy.load(uop.address, self._cycle, base_address=uop.base_address)
+        if result.precharge_penalty > 0:
+            self.stats.delayed_loads += 1
+        line = uop.address >> self.hierarchy.l1d.organization.offset_bits
+        latency = result.latency
+        if self.lsq.can_forward(op.sequence, line):
+            self.lsq.note_forwarded()
+            latency = min(latency, self.hierarchy.l1d.base_latency)
+        ready = self.load_speculation.resolve_load(
+            load=op,
+            issue_cycle=self._cycle,
+            actual_latency=latency,
+            issue_queue=self.issue_queue,
+        )
+        self.stats.load_replays = self.load_speculation.stats.replayed_uops
+        op.complete_cycle = ready
+
+    def _execute_store(self, op: InFlightOp) -> None:
+        uop = op.uop
+        self.stats.dcache_access_count += 1
+        result = self.hierarchy.store(uop.address, self._cycle, base_address=uop.base_address)
+        if result.precharge_penalty > 0:
+            self.stats.delayed_loads += 0  # stores do not delay dependents
+        # Stores complete as soon as their address/data are sent to the LSQ;
+        # the write drains in the background.
+        op.complete_cycle = self._cycle + uop.execution_latency
+
+    def _dispatch(self) -> None:
+        dispatched = 0
+        while dispatched < self.config.width and self.fetch.queue:
+            if self.rob.is_full or self.issue_queue.is_full:
+                self.stats.dispatch_stall_cycles += 1
+                return
+            uop, mispredicted = self.fetch.queue[0]
+            if uop.is_memory and self.lsq.is_full:
+                self.stats.dispatch_stall_cycles += 1
+                return
+            self.fetch.queue.popleft()
+            op = InFlightOp(
+                uop=uop,
+                sequence=self._sequence,
+                dispatched_cycle=self._cycle,
+                mispredicted_branch=mispredicted,
+                producer1=self.rename_table.writer(uop.src1),
+                producer2=self.rename_table.writer(uop.src2),
+            )
+            self._sequence += 1
+            if uop.dest is not None:
+                self.rename_table.set_writer(uop.dest, op)
+            self.rob.push(op)
+            self.issue_queue.push(op)
+            if uop.is_memory:
+                line = uop.address >> self.hierarchy.l1d.organization.offset_bits
+                self.lsq.insert(op, line)
+            dispatched += 1
+
+    # ------------------------------------------------------------------
+    # The main loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        self._commit()
+        self._issue()
+        self._dispatch()
+        self.fetch.fetch_cycle(self._cycle)
+        self._cycle += 1
+        self.stats.cycles = self._cycle
+
+    def run(self, n_instructions: int) -> PipelineStats:
+        """Run until ``n_instructions`` micro-ops have committed.
+
+        Returns:
+            The accumulated :class:`~repro.cpu.stats.PipelineStats`.
+
+        Raises:
+            RuntimeError: if the core livelocks (safety bound exceeded).
+        """
+        if n_instructions < 1:
+            raise ValueError("must simulate at least one instruction")
+        limit = n_instructions * self.config.max_cycles_per_instruction
+        while self.stats.committed_instructions < n_instructions:
+            if self.fetch.exhausted and self.rob.is_empty and not self.fetch.queue:
+                break
+            self.step()
+            if self._cycle > limit:
+                raise RuntimeError(
+                    "pipeline exceeded the livelock safety bound "
+                    f"({self._cycle} cycles for {n_instructions} instructions)"
+                )
+        return self.stats

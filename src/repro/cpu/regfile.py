@@ -1,0 +1,51 @@
+"""Register rename table.
+
+The simulator models ideal register renaming (Table 2's 128-entry physical
+register file never limits the 64-register architectural space the
+workloads use), so the rename table simply remembers, for every
+architectural register, the most recent in-flight producer of its value.
+Consumers dispatched later capture a reference to that producer; their
+operands are ready once the producer's ``complete_cycle`` has passed.
+Because each consumer snapshots its producers at dispatch, later writers
+of the same architectural register never create false (WAR/WAW)
+dependences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .rob import InFlightOp
+
+__all__ = ["RenameTable"]
+
+
+class RenameTable:
+    """Maps architectural registers to their latest in-flight producer."""
+
+    def __init__(self, n_registers: int = 64) -> None:
+        if n_registers < 1:
+            raise ValueError("need at least one register")
+        self._writer: List[Optional[InFlightOp]] = [None] * n_registers
+
+    @property
+    def n_registers(self) -> int:
+        """Number of architectural registers tracked."""
+        return len(self._writer)
+
+    def writer(self, register: Optional[int]) -> Optional[InFlightOp]:
+        """The in-flight op producing ``register``'s latest value, if any."""
+        if register is None:
+            return None
+        return self._writer[register % len(self._writer)]
+
+    def set_writer(self, register: Optional[int], op: InFlightOp) -> None:
+        """Record ``op`` as the latest producer of ``register``."""
+        if register is None:
+            return
+        self._writer[register % len(self._writer)] = op
+
+    def reset(self) -> None:
+        """Forget every producer (all registers architecturally ready)."""
+        for index in range(len(self._writer)):
+            self._writer[index] = None

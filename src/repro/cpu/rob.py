@@ -1,0 +1,105 @@
+"""Reorder buffer and in-flight instruction records."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.workloads.trace import MicroOp
+
+__all__ = ["InFlightOp", "ReorderBuffer"]
+
+
+@dataclass(slots=True)
+class InFlightOp:
+    """A micro-op travelling through the out-of-order back end.
+
+    Attributes:
+        uop: The underlying trace record.
+        sequence: Global program-order sequence number.
+        dispatched_cycle: Cycle the op entered the ROB / issue queue.
+        issued_cycle: Cycle the op was selected for execution (or ``None``).
+        complete_cycle: Cycle the op's result is available (or ``None``).
+        replayed: Number of times the op was squashed and reissued by load
+            hit misspeculation.
+        mispredicted_branch: Whether this branch was mispredicted (set at
+            dispatch from the predictor outcome).
+        producer1: In-flight op producing the first source operand, or
+            ``None`` when the value is already architectural.
+        producer2: In-flight op producing the second source operand.
+    """
+
+    uop: MicroOp
+    sequence: int
+    dispatched_cycle: int
+    issued_cycle: Optional[int] = None
+    complete_cycle: Optional[int] = None
+    replayed: int = 0
+    mispredicted_branch: bool = False
+    producer1: Optional["InFlightOp"] = None
+    producer2: Optional["InFlightOp"] = None
+
+    @property
+    def issued(self) -> bool:
+        """Whether the op has been selected for execution."""
+        return self.issued_cycle is not None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the op's result is available."""
+        return self.complete_cycle is not None
+
+
+class ReorderBuffer:
+    """Bounded in-order retirement window."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("ROB capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[InFlightOp] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether dispatch must stall."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether nothing is in flight."""
+        return not self._entries
+
+    def push(self, op: InFlightOp) -> None:
+        """Insert a newly dispatched op at the tail."""
+        if self.is_full:
+            raise RuntimeError("pushed to a full ROB")
+        self._entries.append(op)
+
+    def head(self) -> Optional[InFlightOp]:
+        """The oldest in-flight op, if any."""
+        return self._entries[0] if self._entries else None
+
+    def commit_ready(self, cycle: int, width: int) -> int:
+        """Retire up to ``width`` completed ops from the head at ``cycle``.
+
+        Returns:
+            The number of ops retired.
+        """
+        retired = 0
+        while (
+            retired < width
+            and self._entries
+            and self._entries[0].completed
+            and self._entries[0].complete_cycle <= cycle
+        ):
+            self._entries.popleft()
+            retired += 1
+        return retired
+
+    def occupancy(self) -> int:
+        """Number of ops currently in flight."""
+        return len(self._entries)

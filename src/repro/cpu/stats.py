@@ -1,0 +1,64 @@
+"""Pipeline statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PipelineStats"]
+
+
+@dataclass
+class PipelineStats:
+    """Counters accumulated by one processor run.
+
+    Attributes:
+        cycles: Total simulated cycles.
+        committed_instructions: Micro-ops retired.
+        fetched_instructions: Micro-ops fetched (includes none squashed by
+            branch redirect in this model, since fetch stalls on a
+            mispredicted branch instead of running down the wrong path).
+        branch_mispredictions: Mispredicted branches.
+        branches: Branches executed.
+        icache_fetch_stall_cycles: Cycles the front end stalled waiting on
+            the instruction cache (misses and precharge penalties).
+        dcache_access_count: Data-cache accesses performed.
+        load_replays: Dependent micro-ops squashed by load-hit
+            misspeculation.
+        delayed_loads: Loads that paid a precharge penalty.
+        delayed_fetches: Instruction fetches that paid a precharge penalty.
+        dispatch_stall_cycles: Cycles dispatch was blocked (ROB/IQ/LSQ full).
+    """
+
+    cycles: int = 0
+    committed_instructions: int = 0
+    fetched_instructions: int = 0
+    branch_mispredictions: int = 0
+    branches: int = 0
+    icache_fetch_stall_cycles: int = 0
+    dcache_access_count: int = 0
+    load_replays: int = 0
+    delayed_loads: int = 0
+    delayed_fetches: int = 0
+    dispatch_stall_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.committed_instructions / self.cycles
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        """Mispredictions per executed branch."""
+        if self.branches == 0:
+            return 0.0
+        return self.branch_mispredictions / self.branches
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.committed_instructions} instructions in {self.cycles} cycles "
+            f"(IPC {self.ipc:.2f}), {self.branch_mispredictions} branch mispredicts, "
+            f"{self.load_replays} load replays"
+        )

@@ -1,0 +1,11 @@
+"""Energy accounting: Wattch-style processor model plus cache reporting."""
+
+from .cache_energy import CacheEnergyReport, combine_run_energy
+from .wattch import ProcessorEnergyBreakdown, WattchEnergyModel
+
+__all__ = [
+    "CacheEnergyReport",
+    "combine_run_energy",
+    "ProcessorEnergyBreakdown",
+    "WattchEnergyModel",
+]

@@ -1,0 +1,109 @@
+"""Combined cache energy reporting.
+
+Glue between the per-cache :class:`~repro.cache.energy_accounting.EnergyBreakdown`
+objects produced by the architectural simulation and the figures the paper
+reports: relative bitline discharge (Figures 3, 8, 9), precharged-subarray
+fraction (Figures 8, 10) and the overall cache / processor energy savings
+(the 46%/41% opportunity of Section 4 and the 42%/36% result of Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cache.energy_accounting import EnergyBreakdown
+from repro.cpu.stats import PipelineStats
+from repro.circuits.technology import TechnologyNode
+
+from .wattch import ProcessorEnergyBreakdown, WattchEnergyModel
+
+__all__ = ["CacheEnergyReport", "combine_run_energy"]
+
+
+@dataclass(frozen=True)
+class CacheEnergyReport:
+    """Energy summary of one simulated run under one precharge policy.
+
+    Attributes:
+        dcache: Energy breakdown of the L1 data cache.
+        icache: Energy breakdown of the L1 instruction cache.
+        processor: Non-cache processor energy (Wattch-style), or ``None``
+            when only cache-level reporting was requested.
+    """
+
+    dcache: EnergyBreakdown
+    icache: EnergyBreakdown
+    processor: Optional[ProcessorEnergyBreakdown] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def dcache_relative_discharge(self) -> float:
+        """L1D bitline discharge relative to blind static pull-up."""
+        return self.dcache.relative_discharge
+
+    @property
+    def icache_relative_discharge(self) -> float:
+        """L1I bitline discharge relative to blind static pull-up."""
+        return self.icache.relative_discharge
+
+    @property
+    def dcache_discharge_savings(self) -> float:
+        """Fraction of L1D bitline discharge eliminated."""
+        return self.dcache.discharge_savings
+
+    @property
+    def icache_discharge_savings(self) -> float:
+        """Fraction of L1I bitline discharge eliminated."""
+        return self.icache.discharge_savings
+
+    @property
+    def dcache_overall_savings(self) -> float:
+        """L1D total-energy savings relative to the static-pull-up cache."""
+        return self.dcache.overall_energy_savings
+
+    @property
+    def icache_overall_savings(self) -> float:
+        """L1I total-energy savings relative to the static-pull-up cache."""
+        return self.icache.overall_energy_savings
+
+    @property
+    def total_cache_energy_j(self) -> float:
+        """Total L1 cache energy (both caches) under the policy."""
+        return self.dcache.total_cache_energy_j + self.icache.total_cache_energy_j
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the headline metrics (for reports/tests)."""
+        return {
+            "dcache_relative_discharge": self.dcache_relative_discharge,
+            "icache_relative_discharge": self.icache_relative_discharge,
+            "dcache_precharged_fraction": self.dcache.precharged_fraction,
+            "icache_precharged_fraction": self.icache.precharged_fraction,
+            "dcache_overall_savings": self.dcache_overall_savings,
+            "icache_overall_savings": self.icache_overall_savings,
+        }
+
+
+def combine_run_energy(
+    breakdowns: Dict[str, EnergyBreakdown],
+    tech: TechnologyNode,
+    pipeline_stats: Optional[PipelineStats] = None,
+) -> CacheEnergyReport:
+    """Build a :class:`CacheEnergyReport` from a finished run.
+
+    Args:
+        breakdowns: The dictionary returned by
+            :meth:`repro.cache.MemoryHierarchy.finalize` (keys ``"L1D"``
+            and ``"L1I"``).
+        tech: Technology node the run was simulated in.
+        pipeline_stats: Optional pipeline statistics; when given, the
+            Wattch-style processor energy is attached too.
+    """
+    processor = None
+    if pipeline_stats is not None:
+        processor = WattchEnergyModel(tech).breakdown(pipeline_stats)
+    return CacheEnergyReport(
+        dcache=breakdowns["L1D"],
+        icache=breakdowns["L1I"],
+        processor=processor,
+    )

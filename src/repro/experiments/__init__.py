@@ -1,0 +1,51 @@
+"""Experiment modules, one per table/figure of the paper's evaluation.
+
+| Module | Paper artefact |
+|---|---|
+| :mod:`~repro.experiments.table1` | Table 1 — circuit parameters |
+| :mod:`~repro.experiments.table2` | Table 2 — base system configuration |
+| :mod:`~repro.experiments.figure2` | Figure 2 — post-isolation bitline power transient |
+| :mod:`~repro.experiments.figure3` | Figure 3 — oracle potential discharge savings |
+| :mod:`~repro.experiments.table3` | Table 3 — decode vs precharge delays |
+| :mod:`~repro.experiments.ondemand` | Section 5 — on-demand precharging slowdown |
+| :mod:`~repro.experiments.figure5` | Figure 5 — cumulative accesses vs access frequency |
+| :mod:`~repro.experiments.figure6` | Figure 6 — fraction of hot subarrays |
+| :mod:`~repro.experiments.predecode_accuracy` | Section 6.3 — predecoding accuracy |
+| :mod:`~repro.experiments.figure8` | Figure 8 — gated precharging results |
+| :mod:`~repro.experiments.figure9` | Figure 9 — gated precharging vs resizable caches |
+| :mod:`~repro.experiments.figure10` | Figure 10 — effect of subarray size |
+"""
+
+from .figure2 import Figure2Result, figure2, format_figure2
+from .figure3 import Figure3Result, figure3, format_figure3
+from .figure5 import ACCESS_FREQUENCY_THRESHOLDS, Figure5Result, figure5, format_figure5
+from .figure6 import Figure6Result, figure6, format_figure6
+from .figure8 import Figure8Benchmark, Figure8Result, figure8, format_figure8
+from .figure9 import Figure9Result, figure9, format_figure9
+from .figure10 import SUBARRAY_SIZES, Figure10Result, figure10, format_figure10
+from .ondemand import OnDemandResult, format_ondemand, ondemand_slowdown
+from .predecode_accuracy import (
+    PredecodeAccuracyResult,
+    format_predecode_accuracy,
+    predecode_accuracy,
+)
+from .report import format_percent, format_series, format_table
+from .table1 import Table1Row, format_table1, table1_rows
+from .table2 import format_table2, table2_rows
+from .table3 import Table3Row, format_table3, table3_rows
+
+__all__ = [
+    "Figure2Result", "figure2", "format_figure2",
+    "Figure3Result", "figure3", "format_figure3",
+    "ACCESS_FREQUENCY_THRESHOLDS", "Figure5Result", "figure5", "format_figure5",
+    "Figure6Result", "figure6", "format_figure6",
+    "Figure8Benchmark", "Figure8Result", "figure8", "format_figure8",
+    "Figure9Result", "figure9", "format_figure9",
+    "SUBARRAY_SIZES", "Figure10Result", "figure10", "format_figure10",
+    "OnDemandResult", "format_ondemand", "ondemand_slowdown",
+    "PredecodeAccuracyResult", "format_predecode_accuracy", "predecode_accuracy",
+    "format_percent", "format_series", "format_table",
+    "Table1Row", "format_table1", "table1_rows",
+    "format_table2", "table2_rows",
+    "Table3Row", "format_table3", "table3_rows",
+]

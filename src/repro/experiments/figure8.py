@@ -1,0 +1,240 @@
+"""Figure 8: gated precharging — precharged subarrays and bitline discharge.
+
+Every benchmark runs with gated precharging on both L1 caches (with
+predecoding on the data cache), using the statically-found per-benchmark
+optimum threshold (the most aggressive threshold whose estimated slowdown
+stays within 1%, Section 6.4), and again with the constant threshold of
+100 cycles.  Reported per benchmark and on average: the time-averaged
+fraction of subarrays kept precharged, the bitline discharge relative to
+conventional static pull-up, and the measured slowdown against the static
+baseline.
+
+Paper targets: ~10% (data) / ~6% (instruction) of subarrays precharged,
+~83%/87% discharge reduction at the per-benchmark optimum, ~78%/81% with
+the constant threshold, all within ~1% slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import arithmetic_mean, slowdown
+from repro.sim.runner import run_simulation
+from repro.sim.sweep import select_benchmark_thresholds
+from repro.workloads.characteristics import benchmark_names
+
+from .report import format_percent, format_table
+
+__all__ = ["Figure8Benchmark", "Figure8Result", "figure8", "format_figure8"]
+
+
+@dataclass(frozen=True)
+class Figure8Benchmark:
+    """Gated-precharging results for one benchmark.
+
+    All discharge/precharged values are relative to conventional caches.
+    """
+
+    benchmark: str
+    dcache_threshold: int
+    icache_threshold: int
+    dcache_precharged_fraction: float
+    icache_precharged_fraction: float
+    dcache_relative_discharge: float
+    icache_relative_discharge: float
+    dcache_overall_savings: float
+    icache_overall_savings: float
+    slowdown: float
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """Per-benchmark and average gated-precharging results.
+
+    Attributes:
+        optimum: Results with the per-benchmark optimum thresholds.
+        constant: Results with the constant threshold (100 cycles).
+        feature_size_nm: Technology node.
+    """
+
+    optimum: Dict[str, Figure8Benchmark]
+    constant: Dict[str, Figure8Benchmark]
+    feature_size_nm: int
+
+    # ------------------------------------------------------------------
+    def _average(self, table: Dict[str, Figure8Benchmark], field: str) -> float:
+        return arithmetic_mean(getattr(row, field) for row in table.values())
+
+    @property
+    def average_dcache_precharged(self) -> float:
+        """Mean fraction of data-cache subarrays kept precharged (optimum)."""
+        return self._average(self.optimum, "dcache_precharged_fraction")
+
+    @property
+    def average_icache_precharged(self) -> float:
+        """Mean fraction of instruction-cache subarrays kept precharged (optimum)."""
+        return self._average(self.optimum, "icache_precharged_fraction")
+
+    @property
+    def average_dcache_discharge_reduction(self) -> float:
+        """Mean data-cache bitline-discharge reduction (optimum thresholds)."""
+        return 1.0 - self._average(self.optimum, "dcache_relative_discharge")
+
+    @property
+    def average_icache_discharge_reduction(self) -> float:
+        """Mean instruction-cache bitline-discharge reduction (optimum thresholds)."""
+        return 1.0 - self._average(self.optimum, "icache_relative_discharge")
+
+    @property
+    def average_dcache_discharge_reduction_constant(self) -> float:
+        """Mean data-cache discharge reduction with the constant threshold."""
+        return 1.0 - self._average(self.constant, "dcache_relative_discharge")
+
+    @property
+    def average_icache_discharge_reduction_constant(self) -> float:
+        """Mean instruction-cache discharge reduction with the constant threshold."""
+        return 1.0 - self._average(self.constant, "icache_relative_discharge")
+
+    @property
+    def average_slowdown(self) -> float:
+        """Mean slowdown at the per-benchmark optimum thresholds."""
+        return self._average(self.optimum, "slowdown")
+
+    @property
+    def average_dcache_overall_savings(self) -> float:
+        """Mean whole-cache (L1D) energy reduction at the optimum thresholds."""
+        return self._average(self.optimum, "dcache_overall_savings")
+
+    @property
+    def average_icache_overall_savings(self) -> float:
+        """Mean whole-cache (L1I) energy reduction at the optimum thresholds."""
+        return self._average(self.optimum, "icache_overall_savings")
+
+
+def _run_gated(
+    benchmark: str,
+    dcache_threshold: int,
+    icache_threshold: int,
+    feature_size_nm: int,
+    n_instructions: int,
+) -> Figure8Benchmark:
+    baseline_cfg = SimulationConfig(
+        benchmark=benchmark,
+        dcache_policy="static",
+        icache_policy="static",
+        feature_size_nm=feature_size_nm,
+        n_instructions=n_instructions,
+    )
+    gated_cfg = SimulationConfig(
+        benchmark=benchmark,
+        dcache_policy="gated-predecode",
+        icache_policy="gated",
+        feature_size_nm=feature_size_nm,
+        dcache_threshold=dcache_threshold,
+        icache_threshold=icache_threshold,
+        n_instructions=n_instructions,
+    )
+    baseline = run_simulation(baseline_cfg)
+    gated = run_simulation(gated_cfg)
+    return Figure8Benchmark(
+        benchmark=benchmark,
+        dcache_threshold=dcache_threshold,
+        icache_threshold=icache_threshold,
+        dcache_precharged_fraction=gated.energy.dcache.precharged_fraction,
+        icache_precharged_fraction=gated.energy.icache.precharged_fraction,
+        dcache_relative_discharge=gated.energy.dcache_relative_discharge,
+        icache_relative_discharge=gated.energy.icache_relative_discharge,
+        dcache_overall_savings=gated.energy.dcache_overall_savings,
+        icache_overall_savings=gated.energy.icache_overall_savings,
+        slowdown=slowdown(gated, baseline),
+    )
+
+
+def figure8(
+    benchmarks: Optional[Sequence[str]] = None,
+    feature_size_nm: int = 70,
+    n_instructions: int = 20_000,
+    constant_threshold: int = 100,
+) -> Figure8Result:
+    """Regenerate Figure 8 (gated precharging, optimum and constant thresholds)."""
+    names = list(benchmarks) if benchmarks is not None else benchmark_names()
+    base = SimulationConfig(
+        feature_size_nm=feature_size_nm, n_instructions=n_instructions
+    )
+    optimum: Dict[str, Figure8Benchmark] = {}
+    constant: Dict[str, Figure8Benchmark] = {}
+    for name in names:
+        thresholds = select_benchmark_thresholds(name, base)
+        optimum[name] = _run_gated(
+            name,
+            thresholds.dcache_threshold,
+            thresholds.icache_threshold,
+            feature_size_nm,
+            n_instructions,
+        )
+        constant[name] = _run_gated(
+            name, constant_threshold, constant_threshold, feature_size_nm, n_instructions
+        )
+    return Figure8Result(
+        optimum=optimum, constant=constant, feature_size_nm=feature_size_nm
+    )
+
+
+def format_figure8(result: Figure8Result) -> str:
+    """Render the Figure 8 bars as a text table."""
+    rows = []
+    for name, row in result.optimum.items():
+        rows.append(
+            [
+                name,
+                row.dcache_threshold,
+                format_percent(row.dcache_precharged_fraction),
+                f"{row.dcache_relative_discharge:.3f}",
+                row.icache_threshold,
+                format_percent(row.icache_precharged_fraction),
+                f"{row.icache_relative_discharge:.3f}",
+                format_percent(row.slowdown),
+            ]
+        )
+    rows.append(
+        [
+            "AVG",
+            "-",
+            format_percent(result.average_dcache_precharged),
+            f"{1.0 - result.average_dcache_discharge_reduction:.3f}",
+            "-",
+            format_percent(result.average_icache_precharged),
+            f"{1.0 - result.average_icache_discharge_reduction:.3f}",
+            format_percent(result.average_slowdown),
+        ]
+    )
+    table = format_table(
+        headers=[
+            "Benchmark",
+            "D thr",
+            "D precharged",
+            "D rel. discharge",
+            "I thr",
+            "I precharged",
+            "I rel. discharge",
+            "Slowdown",
+        ],
+        rows=rows,
+        title=(
+            "Figure 8: Gated precharging — precharged subarrays and bitline "
+            f"discharge ({result.feature_size_nm}nm, per-benchmark optimum thresholds)"
+        ),
+    )
+    summary = (
+        "Average discharge reduction (optimum): "
+        f"data {format_percent(result.average_dcache_discharge_reduction)}, "
+        f"instruction {format_percent(result.average_icache_discharge_reduction)}; "
+        "(constant threshold 100): "
+        f"data {format_percent(result.average_dcache_discharge_reduction_constant)}, "
+        f"instruction {format_percent(result.average_icache_discharge_reduction_constant)}; "
+        f"overall cache energy reduction: data {format_percent(result.average_dcache_overall_savings)}, "
+        f"instruction {format_percent(result.average_icache_overall_savings)}"
+    )
+    return table + "\n" + summary

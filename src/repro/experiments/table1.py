@@ -1,0 +1,48 @@
+"""Table 1: circuit parameters across the studied technology nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.circuits.technology import TechnologyNode, available_nodes, get_technology
+
+from .report import format_table
+
+__all__ = ["Table1Row", "table1_rows", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One technology node's headline parameters (a Table 1 column)."""
+
+    feature_size_nm: int
+    supply_voltage: float
+    clock_frequency_ghz: float
+
+    @classmethod
+    def from_node(cls, node: TechnologyNode) -> "Table1Row":
+        """Build a row from a :class:`TechnologyNode`."""
+        return cls(
+            feature_size_nm=node.feature_size_nm,
+            supply_voltage=node.supply_voltage,
+            clock_frequency_ghz=node.clock_frequency_ghz,
+        )
+
+
+def table1_rows() -> List[Table1Row]:
+    """The four technology nodes of Table 1, oldest first."""
+    return [Table1Row.from_node(get_technology(nm)) for nm in available_nodes()]
+
+
+def format_table1() -> str:
+    """Render Table 1 in the paper's layout."""
+    rows = table1_rows()
+    return format_table(
+        headers=["Feature size (nm)", "Supply voltage (V)", "Clock frequency (GHz)"],
+        rows=[
+            [row.feature_size_nm, f"{row.supply_voltage:.1f}", f"{row.clock_frequency_ghz:.1f}"]
+            for row in rows
+        ],
+        title="Table 1: Circuit parameters",
+    )

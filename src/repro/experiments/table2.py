@@ -1,0 +1,60 @@
+"""Table 2: base system configuration."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cache.hierarchy import HierarchyConfig
+from repro.cpu.pipeline import PipelineConfig
+
+from .report import format_table
+
+__all__ = ["table2_rows", "format_table2"]
+
+
+def table2_rows(
+    hierarchy: HierarchyConfig = None,
+    pipeline: PipelineConfig = None,
+) -> List[Tuple[str, str]]:
+    """The configuration rows of Table 2 as (parameter, value) pairs."""
+    hierarchy = hierarchy or HierarchyConfig()
+    pipeline = pipeline or PipelineConfig()
+    kb = 1024
+    return [
+        ("Issue & decode", f"{pipeline.width} instructions per cycle"),
+        ("Reorder buffer", f"{pipeline.rob_entries} entries"),
+        ("Issue queue", f"{pipeline.issue_queue_entries} entries"),
+        ("Load/Store queue", f"{pipeline.lsq_entries} entries"),
+        ("Branch predictor", "combination"),
+        ("Register file", f"{pipeline.max_registers * 2} registers; 16R/8W ports"),
+        (
+            "L1 i-cache",
+            f"{hierarchy.l1i_bytes // kb}K; {hierarchy.l1i_assoc}-way; "
+            f"{hierarchy.l1i_latency}-cycle; {hierarchy.l1i_ports}RW ports",
+        ),
+        (
+            "L1 d-cache",
+            f"{hierarchy.l1d_bytes // kb}K; {hierarchy.l1d_assoc}-way; "
+            f"{hierarchy.l1d_latency}-cycle; {hierarchy.l1d_ports}RW/2R ports",
+        ),
+        (
+            "L2 unified cache",
+            f"{hierarchy.l2_bytes // kb}K; {hierarchy.l2_assoc}-way; "
+            f"{hierarchy.l2_latency}-cycle latency",
+        ),
+        (
+            "Memory",
+            f"{hierarchy.memory_latency} cycles + "
+            f"{hierarchy.memory_cycles_per_8_bytes} cycles per 8 bytes",
+        ),
+        ("MSHRs", f"{hierarchy.mshr_entries} entries"),
+    ]
+
+
+def format_table2() -> str:
+    """Render Table 2 in the paper's layout."""
+    return format_table(
+        headers=["Parameter", "Value"],
+        rows=table2_rows(),
+        title="Table 2: Base system configuration",
+    )

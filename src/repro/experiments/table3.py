@@ -1,0 +1,92 @@
+"""Table 3: address-decode stage delays versus worst-case bitline pull-up.
+
+For 1KB and 4KB subarrays across the four technology nodes, the three
+decode-stage delays and the worst-case bitline pull-up time are computed
+from the circuit models.  The paper's conclusion, which this experiment
+verifies, is that the pull-up always exceeds the final-decode margin, so
+on-demand precharging cannot be hidden and costs an extra cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.circuits.cacti import cache_organization
+from repro.circuits.technology import available_nodes
+
+from .report import format_table
+
+__all__ = ["Table3Row", "table3_rows", "format_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One (subarray size, technology) row of Table 3 (delays in ns)."""
+
+    subarray_bytes: int
+    feature_size_nm: int
+    decode_drive_ns: float
+    predecode_ns: float
+    final_decode_ns: float
+    worst_case_pull_up_ns: float
+
+    @property
+    def pull_up_exceeds_final_decode(self) -> bool:
+        """The key Table 3 observation: pull-up cannot hide in stage 3."""
+        return self.worst_case_pull_up_ns > self.final_decode_ns
+
+
+def table3_rows(
+    cache_bytes: int = 32 * 1024,
+    line_bytes: int = 32,
+    associativity: int = 2,
+    subarray_sizes=(1024, 4096),
+) -> List[Table3Row]:
+    """Compute every row of Table 3."""
+    rows: List[Table3Row] = []
+    for subarray_bytes in subarray_sizes:
+        for nm in available_nodes():
+            org = cache_organization(
+                nm, cache_bytes, line_bytes, associativity, subarray_bytes
+            )
+            decoder = org.decoder
+            rows.append(
+                Table3Row(
+                    subarray_bytes=subarray_bytes,
+                    feature_size_nm=nm,
+                    decode_drive_ns=decoder.decode_drive_s * 1e9,
+                    predecode_ns=decoder.predecode_s * 1e9,
+                    final_decode_ns=decoder.final_decode_s * 1e9,
+                    worst_case_pull_up_ns=org.subarray.worst_case_pull_up_s * 1e9,
+                )
+            )
+    return rows
+
+
+def format_table3(rows: List[Table3Row] = None) -> str:
+    """Render Table 3 in the paper's layout."""
+    rows = rows if rows is not None else table3_rows()
+    return format_table(
+        headers=[
+            "Subarray",
+            "Feature (nm)",
+            "Decode drive (ns)",
+            "Predecode (ns)",
+            "Final decode (ns)",
+            "Worst-case pull-up (ns)",
+        ],
+        rows=[
+            [
+                f"{row.subarray_bytes // 1024}KB" if row.subarray_bytes >= 1024
+                else f"{row.subarray_bytes}B",
+                row.feature_size_nm,
+                f"{row.decode_drive_ns:.3f}",
+                f"{row.predecode_ns:.3f}",
+                f"{row.final_decode_ns:.3f}",
+                f"{row.worst_case_pull_up_ns:.3f}",
+            ]
+            for row in rows
+        ],
+        title="Table 3: Decode and precharge delay",
+    )

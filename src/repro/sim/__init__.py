@@ -1,0 +1,28 @@
+"""Simulation driver: configuration, runner, metrics and sweeps."""
+
+from .config import DEFAULT_INSTRUCTIONS, POLICY_NAMES, SimulationConfig, make_policy
+from .metrics import RunResult, arithmetic_mean, geometric_mean, slowdown
+from .runner import clear_run_cache, run_simulation
+from .sweep import (
+    BenchmarkThresholds,
+    DCACHE_REPLAY_FACTOR,
+    select_benchmark_thresholds,
+    sweep_benchmarks,
+)
+
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "POLICY_NAMES",
+    "SimulationConfig",
+    "make_policy",
+    "RunResult",
+    "arithmetic_mean",
+    "geometric_mean",
+    "slowdown",
+    "clear_run_cache",
+    "run_simulation",
+    "BenchmarkThresholds",
+    "DCACHE_REPLAY_FACTOR",
+    "select_benchmark_thresholds",
+    "sweep_benchmarks",
+]

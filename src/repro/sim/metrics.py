@@ -1,0 +1,113 @@
+"""Run results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.energy_accounting import EnergyBreakdown
+from repro.cpu.stats import PipelineStats
+from repro.energy.cache_energy import CacheEnergyReport
+
+__all__ = ["RunResult", "slowdown", "geometric_mean", "arithmetic_mean"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated run.
+
+    Attributes:
+        benchmark: Benchmark name.
+        dcache_policy: Data-cache precharge policy name.
+        icache_policy: Instruction-cache precharge policy name.
+        feature_size_nm: Technology node.
+        subarray_bytes: Precharge-control granularity.
+        cycles: Execution time in cycles.
+        pipeline: Full pipeline statistics.
+        energy: Cache (and processor) energy report.
+        dcache_miss_ratio: L1D misses per access.
+        icache_miss_ratio: L1I misses per access.
+        dcache_gaps: Subarray inter-access gaps observed in the L1D (for
+            locality analyses and threshold selection).
+        icache_gaps: Subarray inter-access gaps observed in the L1I.
+        dcache_accesses: Number of L1D accesses.
+        icache_accesses: Number of L1I accesses.
+        dcache_delayed_accesses: L1D accesses that paid a precharge penalty.
+        icache_delayed_accesses: L1I accesses that paid a precharge penalty.
+    """
+
+    benchmark: str
+    dcache_policy: str
+    icache_policy: str
+    feature_size_nm: int
+    subarray_bytes: int
+    cycles: int
+    pipeline: PipelineStats
+    energy: CacheEnergyReport
+    dcache_miss_ratio: float
+    icache_miss_ratio: float
+    dcache_gaps: List[int]
+    icache_gaps: List[int]
+    dcache_accesses: int
+    icache_accesses: int
+    dcache_delayed_accesses: int
+    icache_delayed_accesses: int
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.pipeline.ipc
+
+    @property
+    def dcache_breakdown(self) -> EnergyBreakdown:
+        """L1D energy breakdown."""
+        return self.energy.dcache
+
+    @property
+    def icache_breakdown(self) -> EnergyBreakdown:
+        """L1I energy breakdown."""
+        return self.energy.icache
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.benchmark:9s} D={self.dcache_policy:15s} I={self.icache_policy:15s} "
+            f"cycles={self.cycles:8d} IPC={self.ipc:4.2f} "
+            f"relD(D)={self.energy.dcache_relative_discharge:5.3f} "
+            f"relD(I)={self.energy.icache_relative_discharge:5.3f}"
+        )
+
+
+def slowdown(result: RunResult, baseline: RunResult) -> float:
+    """Execution-time increase of ``result`` relative to ``baseline``.
+
+    Raises:
+        ValueError: when the runs are not comparable (different benchmark
+            or instruction counts).
+    """
+    if result.benchmark != baseline.benchmark:
+        raise ValueError("slowdown requires runs of the same benchmark")
+    if baseline.cycles <= 0:
+        raise ValueError("baseline run has no cycles")
+    return result.cycles / baseline.cycles - 1.0
+
+
+def arithmetic_mean(values) -> float:
+    """Plain average (the paper's figures report arithmetic means)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (used for speedup-style aggregates)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

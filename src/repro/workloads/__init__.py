@@ -1,0 +1,59 @@
+"""Synthetic workload generators standing in for SPEC2000 and Olden.
+
+The original benchmark binaries and SimPoint traces are not
+redistributable, so each of the paper's sixteen applications is modelled
+by a deterministic synthetic micro-op stream whose architecturally
+relevant characteristics (footprint, subarray locality, miss behaviour,
+instruction mix, branch predictability, displacement addressing) are
+encoded in :mod:`~repro.workloads.characteristics`.
+"""
+
+from .characteristics import (
+    BENCHMARKS,
+    BenchmarkCharacteristics,
+    OLDEN_BENCHMARKS,
+    SPEC2000_BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+)
+from .generators import CodeWalker, HotColdRegion, PointerChase, StridedStream
+from .olden import make_olden_workload, olden_names
+from .spec2000 import make_spec2000_workload, spec2000_names
+from .synthetic import SyntheticWorkload, make_workload
+from .trace import (
+    EXECUTION_LATENCY,
+    MicroOp,
+    OP_ALU,
+    OP_BRANCH,
+    OP_FPU,
+    OP_LOAD,
+    OP_STORE,
+    OP_TYPES,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkCharacteristics",
+    "OLDEN_BENCHMARKS",
+    "SPEC2000_BENCHMARKS",
+    "benchmark_names",
+    "get_benchmark",
+    "CodeWalker",
+    "HotColdRegion",
+    "PointerChase",
+    "StridedStream",
+    "make_olden_workload",
+    "olden_names",
+    "make_spec2000_workload",
+    "spec2000_names",
+    "SyntheticWorkload",
+    "make_workload",
+    "EXECUTION_LATENCY",
+    "MicroOp",
+    "OP_ALU",
+    "OP_BRANCH",
+    "OP_FPU",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_TYPES",
+]

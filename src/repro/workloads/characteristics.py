@@ -1,0 +1,519 @@
+"""Per-benchmark workload characteristics.
+
+The paper evaluates sixteen applications: ten from SPEC2000 (ammp, art,
+bzip2, equake, gcc, mcf, mesa, vortex, vpr, wupwise) and six from Olden
+(bh, bisort, em3d, health, treeadd, tsp).  The original binaries and
+SimPoint traces are not redistributable, so each benchmark is replaced by
+a synthetic workload whose *architecturally relevant* characteristics are
+encoded here:
+
+* the data footprint and how accesses are distributed between a small hot
+  region and the remainder (this sets the subarray reference locality that
+  Figures 5/6/8 depend on);
+* the access style (strided array streaming vs. pointer chasing), which
+  sets the cache miss behaviour — ammp, art and health are the paper's
+  thrashing/high-miss-rate outliers;
+* the instruction-footprint and loop sizes, which set the instruction
+  cache's subarray locality (instruction streams are more stable than data
+  streams, per Section 6.4);
+* the instruction mix and branch predictability, which set the baseline
+  IPC the slowdown figures are measured against;
+* the displacement-size distribution of memory operations, which
+  determines the predecoding accuracy of Section 6.3.
+
+The numeric values are calibrated to the qualitative descriptions in the
+paper and to the published general behaviour of these suites, not to any
+proprietary trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "BenchmarkCharacteristics",
+    "BENCHMARKS",
+    "SPEC2000_BENCHMARKS",
+    "OLDEN_BENCHMARKS",
+    "benchmark_names",
+    "get_benchmark",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkCharacteristics:
+    """Parameters describing one synthetic benchmark.
+
+    Attributes:
+        name: Benchmark name (lower case, as used in the paper's figures).
+        suite: ``"spec2000"`` or ``"olden"``.
+        data_footprint_bytes: Total data region the program touches.
+        hot_data_fraction: Fraction of the footprint that is "hot" within
+            a phase (the rest is touched rarely / streamed).
+        hot_access_probability: Probability that a memory access falls in
+            the current phase's hot region.
+        pointer_chase_fraction: Fraction of loads that behave like pointer
+            chases (random within their region) rather than strided.
+        stride_bytes: Stride of the streaming accesses.
+        load_fraction: Fraction of instructions that are loads.
+        store_fraction: Fraction of instructions that are stores.
+        branch_fraction: Fraction of instructions that are branches.
+        fp_fraction: Fraction of instructions that are floating point.
+        branch_predictability: Probability a branch follows its bias
+            (higher means fewer mispredictions).
+        instr_footprint_bytes: Size of the code region.
+        hot_code_fraction: Fraction of the code footprint that forms the
+            hot loops of a phase.
+        phase_instructions: Phase length in instructions (the program moves
+            to a different hot region each phase).
+        n_phases: Number of distinct program phases to cycle through.
+        small_displacement_fraction: Fraction of memory operations whose
+            displacement is small enough to stay within the base
+            register's 1KB subarray (drives predecoding accuracy).
+        displacement_spread_bytes: Magnitude of the large displacements.
+        stack_access_fraction: Fraction of memory accesses that hit the
+            (small, extremely hot) stack/locals region.
+        reuse_probability: Probability that a non-stack access re-touches a
+            recently used address (temporal reuse).
+        stack_bytes: Size of the active stack window.
+    """
+
+    name: str
+    suite: str
+    data_footprint_bytes: int
+    hot_data_fraction: float
+    hot_access_probability: float
+    pointer_chase_fraction: float
+    stride_bytes: int
+    load_fraction: float
+    store_fraction: float
+    branch_fraction: float
+    fp_fraction: float
+    branch_predictability: float
+    instr_footprint_bytes: int
+    hot_code_fraction: float
+    phase_instructions: int
+    n_phases: int
+    small_displacement_fraction: float
+    displacement_spread_bytes: int
+    stack_access_fraction: float = 0.35
+    reuse_probability: float = 0.15
+    stack_bytes: int = 4 * 1024
+
+    def __post_init__(self) -> None:
+        fractions = (
+            self.load_fraction
+            + self.store_fraction
+            + self.branch_fraction
+            + self.fp_fraction
+        )
+        if fractions >= 1.0:
+            raise ValueError(
+                f"{self.name}: instruction-mix fractions must leave room for ALU ops"
+            )
+        for field_name in (
+            "hot_data_fraction",
+            "hot_access_probability",
+            "pointer_chase_fraction",
+            "branch_predictability",
+            "hot_code_fraction",
+            "small_displacement_fraction",
+            "stack_access_fraction",
+            "reuse_probability",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {field_name} must be in [0, 1]")
+
+    @property
+    def alu_fraction(self) -> float:
+        """Fraction of plain integer ALU instructions."""
+        return 1.0 - (
+            self.load_fraction
+            + self.store_fraction
+            + self.branch_fraction
+            + self.fp_fraction
+        )
+
+
+_KB = 1024
+_MB = 1024 * 1024
+
+
+def _spec(name: str, **kwargs) -> BenchmarkCharacteristics:
+    return BenchmarkCharacteristics(name=name, suite="spec2000", **kwargs)
+
+
+def _olden(name: str, **kwargs) -> BenchmarkCharacteristics:
+    return BenchmarkCharacteristics(name=name, suite="olden", **kwargs)
+
+
+#: The ten SPEC2000 applications used in the paper.
+SPEC2000_BENCHMARKS: Tuple[BenchmarkCharacteristics, ...] = (
+    # ammp: molecular dynamics, large working set, thrashes the L1 (one of
+    # the paper's three high-miss-rate outliers).
+    _spec(
+        "ammp",
+        data_footprint_bytes=2 * _MB,
+        hot_data_fraction=0.30,
+        hot_access_probability=0.55,
+        pointer_chase_fraction=0.50,
+        stride_bytes=8,
+        load_fraction=0.27,
+        store_fraction=0.09,
+        branch_fraction=0.12,
+        fp_fraction=0.25,
+        branch_predictability=0.96,
+        instr_footprint_bytes=24 * _KB,
+        hot_code_fraction=0.25,
+        phase_instructions=60_000,
+        n_phases=6,
+        small_displacement_fraction=0.78,
+        displacement_spread_bytes=16 * _KB,
+        stack_access_fraction=0.12,
+        reuse_probability=0.05,
+    ),
+    # art: image recognition / neural net, streams over large matrices,
+    # very high miss ratio.
+    _spec(
+        "art",
+        data_footprint_bytes=3 * _MB,
+        hot_data_fraction=0.40,
+        hot_access_probability=0.45,
+        pointer_chase_fraction=0.10,
+        stride_bytes=64,
+        load_fraction=0.30,
+        store_fraction=0.08,
+        branch_fraction=0.11,
+        fp_fraction=0.28,
+        branch_predictability=0.97,
+        instr_footprint_bytes=12 * _KB,
+        hot_code_fraction=0.30,
+        phase_instructions=75_000,
+        n_phases=4,
+        small_displacement_fraction=0.76,
+        displacement_spread_bytes=32 * _KB,
+        stack_access_fraction=0.10,
+        reuse_probability=0.04,
+    ),
+    # bzip2: compression, moderate working set with strong phase behaviour.
+    _spec(
+        "bzip2",
+        data_footprint_bytes=256 * _KB,
+        hot_data_fraction=0.06,
+        hot_access_probability=0.90,
+        pointer_chase_fraction=0.25,
+        stride_bytes=4,
+        load_fraction=0.26,
+        store_fraction=0.11,
+        branch_fraction=0.14,
+        fp_fraction=0.0,
+        branch_predictability=0.93,
+        instr_footprint_bytes=16 * _KB,
+        hot_code_fraction=0.20,
+        phase_instructions=50_000,
+        n_phases=5,
+        small_displacement_fraction=0.82,
+        displacement_spread_bytes=8 * _KB,
+    ),
+    # equake: FEM earthquake simulation, sparse-matrix streaming.
+    _spec(
+        "equake",
+        data_footprint_bytes=1 * _MB,
+        hot_data_fraction=0.016,
+        hot_access_probability=0.88,
+        pointer_chase_fraction=0.30,
+        stride_bytes=8,
+        load_fraction=0.31,
+        store_fraction=0.08,
+        branch_fraction=0.10,
+        fp_fraction=0.30,
+        branch_predictability=0.97,
+        instr_footprint_bytes=14 * _KB,
+        hot_code_fraction=0.25,
+        phase_instructions=60_000,
+        n_phases=4,
+        small_displacement_fraction=0.80,
+        displacement_spread_bytes=8 * _KB,
+    ),
+    # gcc: compiler, large code footprint, irregular data accesses.
+    _spec(
+        "gcc",
+        data_footprint_bytes=512 * _KB,
+        hot_data_fraction=0.03,
+        hot_access_probability=0.90,
+        pointer_chase_fraction=0.45,
+        stride_bytes=4,
+        load_fraction=0.25,
+        store_fraction=0.12,
+        branch_fraction=0.17,
+        fp_fraction=0.0,
+        branch_predictability=0.90,
+        instr_footprint_bytes=96 * _KB,
+        hot_code_fraction=0.15,
+        phase_instructions=30_000,
+        n_phases=10,
+        small_displacement_fraction=0.80,
+        displacement_spread_bytes=4 * _KB,
+    ),
+    # mcf: single-source shortest path, pointer chasing over a large graph.
+    _spec(
+        "mcf",
+        data_footprint_bytes=1536 * _KB,
+        hot_data_fraction=0.08,
+        hot_access_probability=0.70,
+        pointer_chase_fraction=0.80,
+        stride_bytes=16,
+        load_fraction=0.33,
+        store_fraction=0.09,
+        branch_fraction=0.16,
+        fp_fraction=0.0,
+        branch_predictability=0.91,
+        instr_footprint_bytes=10 * _KB,
+        hot_code_fraction=0.30,
+        phase_instructions=50_000,
+        n_phases=5,
+        small_displacement_fraction=0.74,
+        displacement_spread_bytes=16 * _KB,
+        stack_access_fraction=0.22,
+        reuse_probability=0.10,
+    ),
+    # mesa: 3D graphics library, regular strided accesses, good locality.
+    _spec(
+        "mesa",
+        data_footprint_bytes=384 * _KB,
+        hot_data_fraction=0.03,
+        hot_access_probability=0.92,
+        pointer_chase_fraction=0.15,
+        stride_bytes=16,
+        load_fraction=0.26,
+        store_fraction=0.12,
+        branch_fraction=0.11,
+        fp_fraction=0.22,
+        branch_predictability=0.96,
+        instr_footprint_bytes=48 * _KB,
+        hot_code_fraction=0.18,
+        phase_instructions=45_000,
+        n_phases=6,
+        small_displacement_fraction=0.84,
+        displacement_spread_bytes=4 * _KB,
+    ),
+    # vortex: object-oriented database, large code, mixed accesses.
+    _spec(
+        "vortex",
+        data_footprint_bytes=640 * _KB,
+        hot_data_fraction=0.025,
+        hot_access_probability=0.90,
+        pointer_chase_fraction=0.40,
+        stride_bytes=8,
+        load_fraction=0.28,
+        store_fraction=0.14,
+        branch_fraction=0.15,
+        fp_fraction=0.0,
+        branch_predictability=0.94,
+        instr_footprint_bytes=80 * _KB,
+        hot_code_fraction=0.15,
+        phase_instructions=35_000,
+        n_phases=8,
+        small_displacement_fraction=0.81,
+        displacement_spread_bytes=4 * _KB,
+    ),
+    # vpr: FPGA place & route, moderate footprint, phase behaviour.
+    _spec(
+        "vpr",
+        data_footprint_bytes=320 * _KB,
+        hot_data_fraction=0.05,
+        hot_access_probability=0.90,
+        pointer_chase_fraction=0.35,
+        stride_bytes=8,
+        load_fraction=0.28,
+        store_fraction=0.10,
+        branch_fraction=0.14,
+        fp_fraction=0.05,
+        branch_predictability=0.92,
+        instr_footprint_bytes=28 * _KB,
+        hot_code_fraction=0.20,
+        phase_instructions=40_000,
+        n_phases=6,
+        small_displacement_fraction=0.80,
+        displacement_spread_bytes=8 * _KB,
+    ),
+    # wupwise: quantum chromodynamics, dense linear algebra, very regular.
+    _spec(
+        "wupwise",
+        data_footprint_bytes=768 * _KB,
+        hot_data_fraction=0.02,
+        hot_access_probability=0.92,
+        pointer_chase_fraction=0.05,
+        stride_bytes=8,
+        load_fraction=0.29,
+        store_fraction=0.09,
+        branch_fraction=0.08,
+        fp_fraction=0.35,
+        branch_predictability=0.98,
+        instr_footprint_bytes=16 * _KB,
+        hot_code_fraction=0.25,
+        phase_instructions=70_000,
+        n_phases=4,
+        small_displacement_fraction=0.85,
+        displacement_spread_bytes=4 * _KB,
+    ),
+)
+
+
+#: The six Olden pointer-intensive applications used in the paper.
+OLDEN_BENCHMARKS: Tuple[BenchmarkCharacteristics, ...] = (
+    # bh: Barnes-Hut N-body, tree traversal with good reuse of upper levels.
+    _olden(
+        "bh",
+        data_footprint_bytes=192 * _KB,
+        hot_data_fraction=0.10,
+        hot_access_probability=0.90,
+        pointer_chase_fraction=0.65,
+        stride_bytes=8,
+        load_fraction=0.30,
+        store_fraction=0.08,
+        branch_fraction=0.13,
+        fp_fraction=0.18,
+        branch_predictability=0.94,
+        instr_footprint_bytes=12 * _KB,
+        hot_code_fraction=0.25,
+        phase_instructions=50_000,
+        n_phases=4,
+        small_displacement_fraction=0.79,
+        displacement_spread_bytes=4 * _KB,
+    ),
+    # bisort: bitonic sort over a binary tree.
+    _olden(
+        "bisort",
+        data_footprint_bytes=128 * _KB,
+        hot_data_fraction=0.12,
+        hot_access_probability=0.90,
+        pointer_chase_fraction=0.75,
+        stride_bytes=8,
+        load_fraction=0.29,
+        store_fraction=0.12,
+        branch_fraction=0.16,
+        fp_fraction=0.0,
+        branch_predictability=0.90,
+        instr_footprint_bytes=6 * _KB,
+        hot_code_fraction=0.40,
+        phase_instructions=45_000,
+        n_phases=4,
+        small_displacement_fraction=0.80,
+        displacement_spread_bytes=2 * _KB,
+    ),
+    # em3d: electromagnetic wave propagation over a bipartite graph.
+    _olden(
+        "em3d",
+        data_footprint_bytes=256 * _KB,
+        hot_data_fraction=0.06,
+        hot_access_probability=0.88,
+        pointer_chase_fraction=0.70,
+        stride_bytes=16,
+        load_fraction=0.32,
+        store_fraction=0.07,
+        branch_fraction=0.12,
+        fp_fraction=0.15,
+        branch_predictability=0.95,
+        instr_footprint_bytes=8 * _KB,
+        hot_code_fraction=0.35,
+        phase_instructions=55_000,
+        n_phases=4,
+        small_displacement_fraction=0.77,
+        displacement_spread_bytes=4 * _KB,
+    ),
+    # health: hierarchical health-care simulation; linked lists with a
+    # small active footprint but a very high miss rate (the paper's third
+    # high-miss-rate outlier, and one of the biggest gated-precharging
+    # winners thanks to its locality).
+    _olden(
+        "health",
+        data_footprint_bytes=1 * _MB,
+        hot_data_fraction=0.04,
+        hot_access_probability=0.60,
+        pointer_chase_fraction=0.90,
+        stride_bytes=16,
+        load_fraction=0.34,
+        store_fraction=0.10,
+        branch_fraction=0.15,
+        fp_fraction=0.0,
+        branch_predictability=0.92,
+        instr_footprint_bytes=6 * _KB,
+        hot_code_fraction=0.40,
+        phase_instructions=60_000,
+        n_phases=3,
+        small_displacement_fraction=0.72,
+        displacement_spread_bytes=32 * _KB,
+        stack_access_fraction=0.12,
+        reuse_probability=0.04,
+    ),
+    # treeadd: recursive sum over a balanced binary tree.
+    _olden(
+        "treeadd",
+        data_footprint_bytes=96 * _KB,
+        hot_data_fraction=0.10,
+        hot_access_probability=0.92,
+        pointer_chase_fraction=0.70,
+        stride_bytes=8,
+        load_fraction=0.30,
+        store_fraction=0.06,
+        branch_fraction=0.14,
+        fp_fraction=0.0,
+        branch_predictability=0.95,
+        instr_footprint_bytes=4 * _KB,
+        hot_code_fraction=0.50,
+        phase_instructions=50_000,
+        n_phases=3,
+        small_displacement_fraction=0.83,
+        displacement_spread_bytes=2 * _KB,
+    ),
+    # tsp: travelling salesman over a tree of cities.
+    _olden(
+        "tsp",
+        data_footprint_bytes=160 * _KB,
+        hot_data_fraction=0.12,
+        hot_access_probability=0.90,
+        pointer_chase_fraction=0.60,
+        stride_bytes=8,
+        load_fraction=0.28,
+        store_fraction=0.08,
+        branch_fraction=0.14,
+        fp_fraction=0.10,
+        branch_predictability=0.93,
+        instr_footprint_bytes=8 * _KB,
+        hot_code_fraction=0.35,
+        phase_instructions=45_000,
+        n_phases=4,
+        small_displacement_fraction=0.81,
+        displacement_spread_bytes=4 * _KB,
+    ),
+)
+
+
+#: Every benchmark, keyed by name, in the paper's alphabetical figure order.
+BENCHMARKS: Dict[str, BenchmarkCharacteristics] = {
+    bench.name: bench
+    for bench in sorted(
+        SPEC2000_BENCHMARKS + OLDEN_BENCHMARKS, key=lambda b: b.name
+    )
+}
+
+
+def benchmark_names() -> List[str]:
+    """All sixteen benchmark names in alphabetical (figure) order."""
+    return list(BENCHMARKS.keys())
+
+
+def get_benchmark(name: str) -> BenchmarkCharacteristics:
+    """Look up a benchmark's characteristics by name.
+
+    Raises:
+        KeyError: if the benchmark is not one of the paper's sixteen.
+    """
+    try:
+        return BENCHMARKS[name.lower()]
+    except KeyError:
+        known = ", ".join(benchmark_names())
+        raise KeyError(f"unknown benchmark {name!r}; known benchmarks: {known}") from None

@@ -1,0 +1,205 @@
+"""Low-level address-pattern generators.
+
+These are the reusable building blocks the synthetic benchmarks are
+assembled from: strided streams (array/matrix code), pointer chases
+(linked data structures), hot/cold region selection (working-set
+locality), and a loop-structured code walker that produces instruction
+addresses with realistic instruction-cache locality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["StridedStream", "PointerChase", "HotColdRegion", "CodeWalker"]
+
+
+class StridedStream:
+    """Sequential strided addresses within a region, wrapping at the end."""
+
+    def __init__(self, base: int, size: int, stride: int) -> None:
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.base = base
+        self.size = size
+        self.stride = stride
+        self._offset = 0
+
+    def next_address(self) -> int:
+        """The next address in the stream."""
+        address = self.base + self._offset
+        self._offset = (self._offset + self.stride) % self.size
+        return address
+
+    def reset(self, offset: int = 0) -> None:
+        """Restart the stream at ``offset`` within the region."""
+        self._offset = offset % self.size
+
+
+class PointerChase:
+    """Pseudo-random granule-aligned addresses within a region.
+
+    Models the address stream of linked-structure traversals: each access
+    lands on an unpredictable node, but all nodes live inside the
+    structure's footprint.
+    """
+
+    def __init__(self, base: int, size: int, rng: random.Random,
+                 granule: int = 16) -> None:
+        if size < granule:
+            raise ValueError("region must hold at least one granule")
+        if granule <= 0:
+            raise ValueError("granule must be positive")
+        self.base = base
+        self.size = size
+        self.granule = granule
+        self._rng = rng
+        self._slots = max(1, size // granule)
+
+    def next_address(self) -> int:
+        """Address of the next node visited."""
+        slot = self._rng.randrange(self._slots)
+        return self.base + slot * self.granule
+
+
+@dataclass
+class HotColdRegion:
+    """Split a footprint into a hot sub-region and the cold remainder.
+
+    Attributes:
+        base: Start address of the footprint.
+        size: Total footprint size in bytes.
+        hot_fraction: Fraction of the footprint that is hot.
+        hot_offset: Where (as a fraction of the footprint) the hot region
+            currently starts — program phases move this around.
+    """
+
+    base: int
+    size: int
+    hot_fraction: float
+    hot_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+
+    @property
+    def hot_size(self) -> int:
+        """Size of the hot region in bytes (at least one 64-byte block)."""
+        return max(64, int(self.size * self.hot_fraction))
+
+    @property
+    def hot_base(self) -> int:
+        """Start address of the hot region."""
+        max_start = max(0, self.size - self.hot_size)
+        return self.base + int(max_start * self.hot_offset)
+
+    def hot_bounds(self) -> Tuple[int, int]:
+        """(start, size) of the hot region."""
+        return self.hot_base, self.hot_size
+
+    def cold_bounds(self) -> Tuple[int, int]:
+        """(start, size) of the whole footprint (cold accesses roam it all)."""
+        return self.base, self.size
+
+    def move_phase(self, phase_index: int, n_phases: int) -> None:
+        """Reposition the hot region for a new program phase."""
+        if n_phases <= 1:
+            self.hot_offset = 0.0
+            return
+        self.hot_offset = (phase_index % n_phases) / (n_phases - 1)
+
+
+class CodeWalker:
+    """Produces instruction addresses with loop-structured locality.
+
+    The code footprint is divided into fixed-size basic blocks.  The walker
+    spends most of its time looping over a small set of blocks inside the
+    current phase's hot code region, occasionally calling out to another
+    hot block and rarely jumping into cold code — giving the instruction
+    stream the stable, highly local footprint the paper relies on
+    (Section 6.4 notes i-caches show higher locality than d-caches).
+    """
+
+    INSTRUCTION_BYTES = 4
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        hot_fraction: float,
+        rng: random.Random,
+        block_instructions: int = 12,
+        call_probability: float = 0.04,
+        cold_probability: float = 0.01,
+    ) -> None:
+        if size < 256:
+            raise ValueError("code footprint too small")
+        self.region = HotColdRegion(base=base, size=size, hot_fraction=hot_fraction)
+        self.block_instructions = block_instructions
+        self.call_probability = call_probability
+        self.cold_probability = cold_probability
+        self._rng = rng
+        self._pc = base
+        self._block_start = base
+        self._in_block = 0
+        self._loop_block = base
+        self._loop_remaining = self._pick_loop_count()
+
+    def _pick_loop_count(self) -> int:
+        return self._rng.randint(4, 40)
+
+    def _pick_block(self, hot: bool) -> int:
+        start, size = (
+            self.region.hot_bounds() if hot else self.region.cold_bounds()
+        )
+        block_bytes = self.block_instructions * self.INSTRUCTION_BYTES
+        n_blocks = max(1, size // block_bytes)
+        return start + self._rng.randrange(n_blocks) * block_bytes
+
+    def move_phase(self, phase_index: int, n_phases: int) -> None:
+        """Shift the hot code region for a new phase."""
+        self.region.move_phase(phase_index, n_phases)
+        self._loop_block = self._pick_block(hot=True)
+        self._block_start = self._loop_block
+        self._pc = self._loop_block
+        self._in_block = 0
+        self._loop_remaining = self._pick_loop_count()
+
+    def next_pc(self) -> Tuple[int, bool, Optional[int]]:
+        """Advance one instruction.
+
+        Returns:
+            ``(pc, ends_block, branch_target)`` — the PC of the
+            instruction, whether it is the block-ending branch, and the
+            branch's target when it is.
+        """
+        pc = self._pc
+        self._in_block += 1
+        if self._in_block < self.block_instructions:
+            self._pc += self.INSTRUCTION_BYTES
+            return pc, False, None
+
+        # Block-ending branch: decide where control goes next.
+        self._in_block = 0
+        roll = self._rng.random()
+        if self._loop_remaining > 0 and roll > self.call_probability + self.cold_probability:
+            self._loop_remaining -= 1
+            target = self._loop_block
+        elif roll < self.cold_probability:
+            target = self._pick_block(hot=False)
+            self._loop_block = target
+            self._loop_remaining = self._pick_loop_count()
+        else:
+            target = self._pick_block(hot=True)
+            self._loop_block = target
+            self._loop_remaining = self._pick_loop_count()
+        self._block_start = target
+        self._pc = target
+        return pc, True, target

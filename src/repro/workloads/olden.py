@@ -1,0 +1,45 @@
+"""Convenience constructors for the Olden-derived synthetic workloads.
+
+The paper runs the six Olden pointer-intensive programs to completion.
+Each is represented here by a synthetic workload parameterised in
+:mod:`repro.workloads.characteristics`, exposed by name
+(``olden.health()``, ``olden.treeadd()``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .characteristics import OLDEN_BENCHMARKS
+from .synthetic import SyntheticWorkload, make_workload
+
+__all__ = ["olden_names", "make_olden_workload"] + [
+    bench.name for bench in OLDEN_BENCHMARKS
+]
+
+
+def olden_names() -> List[str]:
+    """Names of the six Olden applications used in the paper."""
+    return [bench.name for bench in OLDEN_BENCHMARKS]
+
+
+def make_olden_workload(name: str, seed: int = 1) -> SyntheticWorkload:
+    """Build an Olden synthetic workload by name."""
+    if name not in olden_names():
+        raise KeyError(f"{name!r} is not one of the Olden benchmarks used in the paper")
+    return make_workload(name, seed=seed)
+
+
+def _make_constructor(bench_name: str):
+    def constructor(seed: int = 1) -> SyntheticWorkload:
+        return make_workload(bench_name, seed=seed)
+
+    constructor.__name__ = bench_name
+    constructor.__qualname__ = bench_name
+    constructor.__doc__ = f"Synthetic workload modelling Olden {bench_name}."
+    return constructor
+
+
+for _bench in OLDEN_BENCHMARKS:
+    globals()[_bench.name] = _make_constructor(_bench.name)
+del _bench

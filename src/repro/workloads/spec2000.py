@@ -1,0 +1,46 @@
+"""Convenience constructors for the SPEC2000-derived synthetic workloads.
+
+The paper runs ten SPEC2000 applications through SimPoint-selected
+simulation points.  Here each application is represented by a synthetic
+workload parameterised in
+:mod:`repro.workloads.characteristics`; this module simply exposes them by
+name for discoverability (``spec2000.ammp()``, ``spec2000.gcc()``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .characteristics import SPEC2000_BENCHMARKS
+from .synthetic import SyntheticWorkload, make_workload
+
+__all__ = ["spec2000_names", "make_spec2000_workload"] + [
+    bench.name for bench in SPEC2000_BENCHMARKS
+]
+
+
+def spec2000_names() -> List[str]:
+    """Names of the ten SPEC2000 applications used in the paper."""
+    return [bench.name for bench in SPEC2000_BENCHMARKS]
+
+
+def make_spec2000_workload(name: str, seed: int = 1) -> SyntheticWorkload:
+    """Build a SPEC2000 synthetic workload by name."""
+    if name not in spec2000_names():
+        raise KeyError(f"{name!r} is not one of the SPEC2000 benchmarks used in the paper")
+    return make_workload(name, seed=seed)
+
+
+def _make_constructor(bench_name: str):
+    def constructor(seed: int = 1) -> SyntheticWorkload:
+        return make_workload(bench_name, seed=seed)
+
+    constructor.__name__ = bench_name
+    constructor.__qualname__ = bench_name
+    constructor.__doc__ = f"Synthetic workload modelling SPEC2000 {bench_name}."
+    return constructor
+
+
+for _bench in SPEC2000_BENCHMARKS:
+    globals()[_bench.name] = _make_constructor(_bench.name)
+del _bench

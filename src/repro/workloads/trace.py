@@ -1,0 +1,88 @@
+"""Micro-operation trace records.
+
+The workload generators produce a stream of :class:`MicroOp` records that
+the cycle-level processor model consumes.  A record carries everything the
+pipeline needs: the operation class, register dependences (as
+architectural register indices — renaming is modelled as ideal), the
+effective and base addresses of memory operations (the base address feeds
+the Section 6.3 predecoder), the program counter (which drives the
+instruction cache) and, for branches, the actual outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "MicroOp",
+    "OP_ALU",
+    "OP_FPU",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_BRANCH",
+    "OP_TYPES",
+    "EXECUTION_LATENCY",
+]
+
+OP_ALU = "alu"
+OP_FPU = "fpu"
+OP_LOAD = "load"
+OP_STORE = "store"
+OP_BRANCH = "branch"
+
+#: Every operation class a workload may emit.
+OP_TYPES = (OP_ALU, OP_FPU, OP_LOAD, OP_STORE, OP_BRANCH)
+
+#: Execution (functional-unit) latency in cycles per operation class.
+#: Loads add the data-cache access latency on top of this issue latency.
+EXECUTION_LATENCY = {
+    OP_ALU: 1,
+    OP_FPU: 3,
+    OP_LOAD: 0,
+    OP_STORE: 1,
+    OP_BRANCH: 1,
+}
+
+
+@dataclass(slots=True)
+class MicroOp:
+    """One dynamic micro-operation.
+
+    Attributes:
+        op_type: One of :data:`OP_TYPES`.
+        pc: Byte address of the instruction (drives the L1 i-cache).
+        dest: Destination architectural register index, or ``None``.
+        src1: First source register index, or ``None``.
+        src2: Second source register index, or ``None``.
+        address: Effective memory address for loads/stores, else ``None``.
+        base_address: Base-register value for displacement-addressed memory
+            operations (predecoding input), else ``None``.
+        taken: Branch outcome (branches only).
+        target: Branch target PC (branches only).
+    """
+
+    op_type: str
+    pc: int
+    dest: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    address: Optional[int] = None
+    base_address: Optional[int] = None
+    taken: bool = False
+    target: Optional[int] = None
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the op accesses the data cache."""
+        return self.op_type in (OP_LOAD, OP_STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether the op is a control-flow instruction."""
+        return self.op_type == OP_BRANCH
+
+    @property
+    def execution_latency(self) -> int:
+        """Functional-unit latency of the op (excluding cache access time)."""
+        return EXECUTION_LATENCY[self.op_type]

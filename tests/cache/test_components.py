@@ -1,0 +1,162 @@
+"""Tests for cache lines, replacement policies, MSHRs and subarray tracking."""
+
+import pytest
+
+from repro.cache.block import CacheLine
+from repro.cache.mshr import MSHRFile
+from repro.cache.replacement import (
+    LRUReplacement,
+    RandomReplacement,
+    make_replacement,
+)
+from repro.cache.subarray import SubarrayStats, SubarrayTracker
+
+
+class TestCacheLine:
+    def test_new_line_is_invalid(self):
+        line = CacheLine()
+        assert not line.valid
+        assert not line.matches(0)
+
+    def test_fill_and_match(self):
+        line = CacheLine()
+        line.fill(tag=0x42, cycle=10)
+        assert line.valid and not line.dirty
+        assert line.matches(0x42)
+        assert not line.matches(0x43)
+
+    def test_touch_marks_dirty_on_write(self):
+        line = CacheLine()
+        line.fill(tag=1, cycle=0)
+        line.touch(cycle=5, write=True)
+        assert line.dirty
+        assert line.last_used_cycle == 5
+
+    def test_invalidate_clears_state(self):
+        line = CacheLine()
+        line.fill(tag=1, cycle=0)
+        line.touch(cycle=1, write=True)
+        line.invalidate()
+        assert not line.valid and not line.dirty and line.tag is None
+
+
+class TestReplacement:
+    def _ways(self, n=4):
+        ways = [CacheLine() for _ in range(n)]
+        for index, way in enumerate(ways):
+            way.fill(tag=index, cycle=index)
+        return ways
+
+    def test_lru_prefers_invalid_way(self):
+        ways = self._ways()
+        ways[2].invalidate()
+        assert LRUReplacement().select_victim(ways) == 2
+
+    def test_lru_picks_least_recently_used(self):
+        ways = self._ways()
+        ways[0].touch(cycle=100)
+        assert LRUReplacement().select_victim(ways) == 1
+
+    def test_random_prefers_invalid_way(self):
+        ways = self._ways()
+        ways[3].invalidate()
+        assert RandomReplacement(seed=1).select_victim(ways) == 3
+
+    def test_random_is_deterministic_given_seed(self):
+        ways = self._ways()
+        picks_a = [RandomReplacement(seed=7).select_victim(ways) for _ in range(5)]
+        picks_b = [RandomReplacement(seed=7).select_victim(ways) for _ in range(5)]
+        assert picks_a == picks_b
+
+    def test_factory(self):
+        assert isinstance(make_replacement("lru"), LRUReplacement)
+        assert isinstance(make_replacement("RANDOM"), RandomReplacement)
+        with pytest.raises(ValueError):
+            make_replacement("plru")
+
+
+class TestMSHRs:
+    def test_allocate_until_full(self):
+        mshrs = MSHRFile(n_entries=2)
+        assert mshrs.allocate(0x100, ready_cycle=10) is not None
+        assert mshrs.allocate(0x200, ready_cycle=20) is not None
+        assert mshrs.is_full()
+        assert mshrs.allocate(0x300, ready_cycle=30) is None
+        assert mshrs.rejected_allocations == 1
+
+    def test_secondary_miss_merges(self):
+        mshrs = MSHRFile(n_entries=2)
+        first = mshrs.allocate(0x100, ready_cycle=10)
+        second = mshrs.allocate(0x100, ready_cycle=15)
+        assert first is second
+        assert second.merged_requests == 2
+        assert mshrs.merged_misses == 1
+        assert mshrs.occupancy == 1
+
+    def test_retire_completed_frees_entries(self):
+        mshrs = MSHRFile(n_entries=2)
+        mshrs.allocate(0x100, ready_cycle=10)
+        mshrs.allocate(0x200, ready_cycle=50)
+        done = mshrs.retire_completed(cycle=20)
+        assert [e.line_address for e in done] == [0x100]
+        assert mshrs.occupancy == 1
+        assert mshrs.earliest_ready_cycle() == 50
+
+    def test_empty_file_has_no_ready_cycle(self):
+        assert MSHRFile().earliest_ready_cycle() is None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(n_entries=0)
+
+
+class TestSubarrayTracker:
+    def test_gap_recording(self):
+        stats = SubarrayStats(index=0)
+        assert stats.record_access(10) is None
+        assert stats.record_access(25) == 15
+        assert stats.accesses == 2
+        assert stats.mean_gap_cycles == 15
+
+    def test_mean_frequency_is_reciprocal(self):
+        stats = SubarrayStats(index=0)
+        stats.record_access(0)
+        stats.record_access(100)
+        assert stats.mean_access_frequency == pytest.approx(0.01)
+
+    def test_never_accessed_subarray_has_zero_frequency(self):
+        stats = SubarrayStats(index=0)
+        assert stats.mean_gap_cycles == float("inf")
+        assert stats.mean_access_frequency == 0.0
+
+    def test_tracker_distributes_accesses(self):
+        tracker = SubarrayTracker(4)
+        for cycle, subarray in enumerate([0, 1, 0, 1, 2, 0]):
+            tracker.record_access(subarray, cycle * 10)
+        assert tracker.total_accesses == 6
+        assert tracker.per_subarray_access_counts() == [3, 2, 1, 0]
+
+    def test_cumulative_access_fraction_monotone(self):
+        tracker = SubarrayTracker(2)
+        for cycle in range(0, 1000, 7):
+            tracker.record_access(cycle % 2, cycle)
+        fractions = tracker.cumulative_access_fraction([1, 10, 100, 1000])
+        values = [fractions[t] for t in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_hot_fraction_monotone_in_threshold(self):
+        tracker = SubarrayTracker(8)
+        for cycle in range(0, 2000, 5):
+            tracker.record_access((cycle // 100) % 8, cycle)
+        hot = tracker.hot_subarray_fraction([10, 100, 1000], total_cycles=2000)
+        assert hot[10] <= hot[100] <= hot[1000] <= 1.0
+
+    def test_hot_fraction_requires_positive_cycles(self):
+        tracker = SubarrayTracker(2)
+        with pytest.raises(ValueError):
+            tracker.hot_subarray_fraction([10], total_cycles=0)
+
+    def test_invalid_tracker_size_rejected(self):
+        with pytest.raises(ValueError):
+            SubarrayTracker(0)

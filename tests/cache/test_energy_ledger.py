@@ -1,0 +1,97 @@
+"""Tests for the bitline-discharge energy ledger."""
+
+import pytest
+
+from repro.cache.energy_accounting import EnergyLedger
+
+
+class TestLedgerAccounting:
+    def test_fully_precharged_run_matches_static_reference(self, l1_org):
+        ledger = EnergyLedger(l1_org.subarray, l1_org.n_subarrays)
+        total_cycles = 1000
+        for subarray in range(l1_org.n_subarrays):
+            ledger.note_precharged_interval(subarray, total_cycles)
+        breakdown = ledger.breakdown(total_cycles)
+        assert breakdown.relative_discharge == pytest.approx(1.0)
+        assert breakdown.precharged_fraction == pytest.approx(1.0)
+        assert breakdown.discharge_savings == pytest.approx(0.0)
+
+    def test_fully_isolated_run_saves_most_discharge(self, l1_org):
+        ledger = EnergyLedger(l1_org.subarray, l1_org.n_subarrays)
+        total_cycles = 100_000
+        for subarray in range(l1_org.n_subarrays):
+            ledger.note_isolated_interval(subarray, total_cycles)
+        breakdown = ledger.breakdown(total_cycles)
+        assert breakdown.relative_discharge < 0.1
+        assert breakdown.precharged_fraction == pytest.approx(0.0)
+
+    def test_toggles_add_overhead(self, l1_org):
+        ledger = EnergyLedger(l1_org.subarray, l1_org.n_subarrays)
+        ledger.note_precharged_interval(0, 100)
+        without = ledger.breakdown(100).bitline_discharge_j
+        for _ in range(50):
+            ledger.note_toggle(0)
+        with_toggles = ledger.breakdown(100).bitline_discharge_j
+        assert with_toggles > without
+        assert ledger.toggles == 50
+
+    def test_accesses_counted_as_dynamic_energy(self, l1_org):
+        ledger = EnergyLedger(l1_org.subarray, l1_org.n_subarrays)
+        ledger.note_access(0)
+        ledger.note_access(1)
+        breakdown = ledger.breakdown(10)
+        assert ledger.accesses == 2
+        assert breakdown.dynamic_access_j == pytest.approx(
+            2 * l1_org.subarray.read_access_energy_j
+        )
+
+    def test_overall_savings_between_zero_and_one(self, l1_org):
+        ledger = EnergyLedger(l1_org.subarray, l1_org.n_subarrays)
+        for subarray in range(l1_org.n_subarrays):
+            ledger.note_isolated_interval(subarray, 5000)
+            ledger.note_access(subarray)
+        breakdown = ledger.breakdown(5000)
+        assert 0.0 <= breakdown.overall_energy_savings <= 1.0
+        assert breakdown.overall_energy_savings < breakdown.discharge_savings
+
+    def test_isolated_interval_never_exceeds_static_equivalent(self, l1_org):
+        ledger = EnergyLedger(l1_org.subarray, l1_org.n_subarrays)
+        cycles = 123
+        ledger.note_isolated_interval(0, cycles)
+        isolated = ledger.breakdown(cycles).isolated_discharge_j
+        static = l1_org.subarray.static_discharge_energy_per_cycle_j * cycles
+        assert isolated <= static * 1.0001
+
+    def test_short_isolation_is_nearly_free_of_savings(self, l1_org):
+        ledger = EnergyLedger(l1_org.subarray, l1_org.n_subarrays)
+        ledger.note_isolated_interval(0, 1)
+        isolated = ledger.breakdown(1).isolated_discharge_j
+        static = l1_org.subarray.static_discharge_energy_per_cycle_j
+        assert isolated == pytest.approx(static, rel=0.05)
+
+    def test_invalid_inputs_rejected(self, l1_org):
+        ledger = EnergyLedger(l1_org.subarray, l1_org.n_subarrays)
+        with pytest.raises(ValueError):
+            ledger.note_precharged_interval(0, -1)
+        with pytest.raises(ValueError):
+            ledger.note_isolated_interval(0, -1)
+        with pytest.raises(ValueError):
+            ledger.breakdown(0)
+        with pytest.raises(ValueError):
+            EnergyLedger(l1_org.subarray, 0)
+
+    def test_breakdown_totals_are_consistent(self, l1_org):
+        ledger = EnergyLedger(l1_org.subarray, l1_org.n_subarrays)
+        ledger.note_precharged_interval(0, 500)
+        ledger.note_isolated_interval(1, 500)
+        ledger.note_toggle(1)
+        ledger.note_access(0)
+        breakdown = ledger.breakdown(500)
+        assert breakdown.bitline_discharge_j == pytest.approx(
+            breakdown.precharged_discharge_j
+            + breakdown.isolated_discharge_j
+            + breakdown.toggle_overhead_j
+        )
+        assert breakdown.total_cache_energy_j == pytest.approx(
+            breakdown.bitline_discharge_j + breakdown.dynamic_access_j
+        )

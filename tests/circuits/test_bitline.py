@@ -1,0 +1,133 @@
+"""Tests for the bitline model: discharge, decay, pull-up timing."""
+
+import math
+
+import pytest
+
+from repro.circuits.bitline import Bitline
+from repro.circuits.technology import available_nodes, get_technology
+
+
+class TestGeometry:
+    def test_capacitance_grows_with_rows(self, tech70):
+        assert (
+            Bitline(tech=tech70, rows=128).capacitance_f
+            > Bitline(tech=tech70, rows=32).capacitance_f
+        )
+
+    def test_invalid_rows_rejected(self, tech70):
+        with pytest.raises(ValueError):
+            Bitline(tech=tech70, rows=0)
+
+    def test_invalid_ports_rejected(self, tech70):
+        with pytest.raises(ValueError):
+            Bitline(tech=tech70, rows=32, ports=0)
+
+
+class TestStaticDischarge:
+    def test_discharge_power_proportional_to_rows(self, tech70):
+        small = Bitline(tech=tech70, rows=32)
+        large = Bitline(tech=tech70, rows=64)
+        assert large.static_discharge_power_w == pytest.approx(
+            2 * small.static_discharge_power_w
+        )
+
+    def test_static_energy_linear_in_time(self, tech70):
+        bitline = Bitline(tech=tech70, rows=32)
+        assert bitline.static_discharge_energy_j(2e-9) == pytest.approx(
+            2 * bitline.static_discharge_energy_j(1e-9)
+        )
+
+    def test_discharge_power_grows_toward_70nm(self):
+        powers = [
+            Bitline(tech=get_technology(nm), rows=32).static_discharge_power_w
+            for nm in available_nodes()
+        ]
+        # Leakage growth dominates the Vdd reduction.
+        assert powers == sorted(powers)
+
+
+class TestIsolationDecay:
+    def test_voltage_decays_from_vdd(self, tech70):
+        bitline = Bitline(tech=tech70, rows=32)
+        assert bitline.voltage_after_isolation(0.0) == pytest.approx(tech70.supply_voltage)
+        tau = bitline.decay_time_constant_s
+        assert bitline.voltage_after_isolation(tau) == pytest.approx(
+            tech70.supply_voltage / math.e, rel=1e-6
+        )
+
+    def test_negative_time_rejected(self, tech70):
+        with pytest.raises(ValueError):
+            Bitline(tech=tech70, rows=32).voltage_after_isolation(-1.0)
+
+    def test_short_isolation_saves_little(self, tech70):
+        bitline = Bitline(tech=tech70, rows=32)
+        short = 0.01 * bitline.decay_time_constant_s
+        isolated = bitline.isolated_discharge_energy_j(short)
+        static = bitline.static_discharge_energy_j(short)
+        assert isolated == pytest.approx(static, rel=0.05)
+
+    def test_long_isolation_bounded_by_stored_charge(self, tech70):
+        bitline = Bitline(tech=tech70, rows=32)
+        very_long = 100 * bitline.decay_time_constant_s
+        isolated = bitline.isolated_discharge_energy_j(very_long)
+        static = bitline.static_discharge_energy_j(very_long)
+        assert isolated < 0.02 * static
+        # The bound is the energy initially stored on the bitline.
+        assert isolated == pytest.approx(bitline.stored_energy_j, rel=0.05)
+
+    def test_isolated_discharge_monotone_in_time(self, tech70):
+        bitline = Bitline(tech=tech70, rows=32)
+        times = [0.0, 1e-9, 5e-9, 20e-9, 100e-9]
+        energies = [bitline.isolated_discharge_energy_j(t) for t in times]
+        assert energies == sorted(energies)
+
+    def test_decay_time_constant_shrinks_with_scaling(self):
+        taus = [
+            Bitline(tech=get_technology(nm), rows=32).decay_time_constant_s
+            for nm in available_nodes()
+        ]
+        assert taus == sorted(taus, reverse=True)
+
+
+class TestPullUpTiming:
+    def test_worst_case_pull_up_slower_than_read_restore(self, tech70):
+        bitline = Bitline(tech=tech70, rows=32)
+        assert bitline.worst_case_pull_up_s > bitline.active_read_restore_s
+
+    def test_pull_up_matches_table3_at_180nm_1kb(self):
+        # Table 3: 1KB subarray (32 rows of 32-byte lines), 180nm -> 0.39 ns.
+        bitline = Bitline(tech=get_technology(180), rows=32)
+        assert bitline.worst_case_pull_up_s * 1e9 == pytest.approx(0.39, rel=0.05)
+
+    def test_pull_up_shrinks_with_scaling(self):
+        delays = [
+            Bitline(tech=get_technology(nm), rows=32).worst_case_pull_up_s
+            for nm in available_nodes()
+        ]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_longer_bitlines_pull_up_slower(self, tech70):
+        assert (
+            Bitline(tech=tech70, rows=128).worst_case_pull_up_s
+            > Bitline(tech=tech70, rows=32).worst_case_pull_up_s
+        )
+
+
+class TestRechargeAndToggle:
+    def test_recharge_energy_grows_with_idle_time(self, tech70):
+        bitline = Bitline(tech=tech70, rows=32)
+        assert bitline.recharge_energy_j(100e-9) > bitline.recharge_energy_j(1e-9)
+
+    def test_toggle_energy_covers_two_transitions(self, tech70):
+        bitline = Bitline(tech=tech70, rows=32)
+        assert bitline.isolation_toggle_energy_j == pytest.approx(
+            2 * bitline.precharge_device.switching_energy_j
+        )
+
+    def test_negative_idle_rejected(self, tech70):
+        bitline = Bitline(tech=tech70, rows=32)
+        with pytest.raises(ValueError):
+            bitline.isolated_discharge_energy_j(-1.0)
+        with pytest.raises(ValueError):
+            bitline.static_discharge_energy_j(-1.0)

@@ -1,0 +1,112 @@
+"""Tests for the cache-organisation (CACTI-like) and subarray circuit models."""
+
+import pytest
+
+from repro.circuits.cacti import CacheOrganization, cache_organization
+from repro.circuits.subarray_circuit import subarray_circuit
+from repro.circuits.technology import available_nodes, get_technology
+
+
+class TestGeometry:
+    def test_base_l1_has_32_subarrays(self, l1_org):
+        assert l1_org.n_subarrays == 32
+        assert l1_org.n_sets == 512
+        assert l1_org.n_lines == 1024
+        assert l1_org.lines_per_subarray == 32
+
+    def test_sets_map_to_subarrays_contiguously(self, l1_org):
+        assert l1_org.subarray_for_set(0) == 0
+        assert l1_org.subarray_for_set(l1_org.sets_per_subarray) == 1
+        assert l1_org.subarray_for_set(l1_org.n_sets - 1) == l1_org.n_subarrays - 1
+
+    def test_subarray_for_address_consistent_with_set_mapping(self, l1_org):
+        address = 0x1234_5678
+        set_index = (address >> l1_org.offset_bits) % l1_org.n_sets
+        assert l1_org.subarray_for_address(address) == l1_org.subarray_for_set(set_index)
+
+    def test_out_of_range_set_rejected(self, l1_org):
+        with pytest.raises(ValueError):
+            l1_org.subarray_for_set(l1_org.n_sets)
+
+    def test_invalid_organisations_rejected(self, tech70):
+        with pytest.raises(ValueError):
+            CacheOrganization(tech70, 32 * 1024, 32, 2, subarray_bytes=16)
+        with pytest.raises(ValueError):
+            CacheOrganization(tech70, 32 * 1024 + 1, 32, 2, subarray_bytes=1024)
+        with pytest.raises(ValueError):
+            CacheOrganization(tech70, 32 * 1024, 32, 0, subarray_bytes=1024)
+
+    def test_subarray_size_sets_count(self, tech70):
+        for size, expected in [(4096, 8), (1024, 32), (256, 128), (64, 512)]:
+            org = cache_organization(70, 32 * 1024, 32, 2, size)
+            assert org.n_subarrays == expected
+
+
+class TestTimingAndPenalty:
+    def test_access_latency_reasonable(self, l1_org):
+        assert 1 <= l1_org.access_latency_cycles <= 5
+
+    def test_isolated_access_penalty_always_at_least_one_cycle(self):
+        # The Table 3 conclusion: the pull-up never hides in the decode margin.
+        for nm in available_nodes():
+            for subarray_bytes in (1024, 4096):
+                org = cache_organization(nm, 32 * 1024, 32, 2, subarray_bytes)
+                assert org.isolated_access_penalty_cycles >= 1
+
+    def test_timing_total_is_sum_of_stages(self, l1_org):
+        timing = l1_org.timing
+        assert timing.total_s == pytest.approx(
+            timing.decode_s + timing.bitline_sense_s + timing.output_drive_s
+        )
+
+    def test_cached_constructor_returns_same_object(self):
+        a = cache_organization(70, 32 * 1024, 32, 2, 1024)
+        b = cache_organization(70, 32 * 1024, 32, 2, 1024)
+        assert a is b
+
+
+class TestSubarrayCircuit:
+    def test_static_discharge_scales_with_ports(self):
+        single = subarray_circuit(70, 1024, ports=1)
+        dual = subarray_circuit(70, 1024, ports=2)
+        assert dual.static_discharge_power_w == pytest.approx(
+            2 * single.static_discharge_power_w
+        )
+
+    def test_whole_cache_discharge_is_subarrays_times_one(self, l1_org):
+        per_subarray = l1_org.subarray.static_discharge_energy_per_cycle_j
+        assert l1_org.static_discharge_energy_per_cycle_j == pytest.approx(
+            l1_org.n_subarrays * per_subarray
+        )
+
+    def test_isolated_discharge_less_than_static_for_long_idle(self):
+        circuit = subarray_circuit(70, 1024, ports=2)
+        idle_cycles = 10_000
+        static = circuit.static_discharge_energy_per_cycle_j * idle_cycles
+        assert circuit.isolated_discharge_energy_j(idle_cycles) < 0.2 * static
+
+    def test_toggle_energy_positive_and_scales_with_columns(self):
+        small = subarray_circuit(70, 1024, line_bytes=32)
+        wide = subarray_circuit(70, 2048, line_bytes=64)
+        assert small.toggle_switching_energy_j > 0
+        assert wide.toggle_switching_energy_j > small.toggle_switching_energy_j
+
+    def test_read_access_energy_positive(self):
+        assert subarray_circuit(70, 1024).read_access_energy_j > 0
+
+    def test_geometry_counts(self):
+        circuit = subarray_circuit(70, 1024, line_bytes=32, ports=2)
+        assert circuit.rows == 32
+        assert circuit.columns == 256
+        assert circuit.bitlines_per_column == 4
+        assert circuit.total_bitlines == 1024
+
+    def test_invalid_geometry_rejected(self, tech70):
+        from repro.circuits.subarray_circuit import SubarrayCircuit
+
+        with pytest.raises(ValueError):
+            SubarrayCircuit(tech=tech70, subarray_bytes=16, line_bytes=32,
+                            ports=1, n_subarrays=32)
+        with pytest.raises(ValueError):
+            SubarrayCircuit(tech=tech70, subarray_bytes=1024, line_bytes=32,
+                            ports=0, n_subarrays=32)

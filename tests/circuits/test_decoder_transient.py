@@ -1,0 +1,108 @@
+"""Tests for the decoder timing model (Table 3) and isolation transient (Figure 2)."""
+
+import pytest
+
+from repro.circuits.decoder import MAX_SUBARRAYS_WITHOUT_COMBINE, decoder_timing
+from repro.circuits.technology import available_nodes, get_technology
+from repro.circuits.transient import isolation_transient
+
+
+class TestDecoderTiming:
+    def test_stage_delays_positive(self, tech70):
+        timing = decoder_timing(tech70, n_subarrays=32, rows_per_subarray=32)
+        assert timing.decode_drive_s > 0
+        assert timing.predecode_s > 0
+        assert timing.final_decode_s > 0
+
+    def test_matches_table3_at_180nm_1kb(self):
+        timing = decoder_timing(get_technology(180), n_subarrays=32, rows_per_subarray=32)
+        assert timing.decode_drive_s * 1e9 == pytest.approx(0.25, rel=0.05)
+        assert timing.predecode_s * 1e9 == pytest.approx(0.28, rel=0.05)
+        assert timing.final_decode_s * 1e9 == pytest.approx(0.20, rel=0.05)
+
+    def test_delays_shrink_with_scaling(self):
+        totals = [
+            decoder_timing(get_technology(nm), 32, 32).total_decode_s
+            for nm in available_nodes()
+        ]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_fewer_subarrays_decode_faster(self, tech70):
+        many = decoder_timing(tech70, n_subarrays=32, rows_per_subarray=32)
+        few = decoder_timing(tech70, n_subarrays=8, rows_per_subarray=128)
+        assert few.decode_drive_s < many.decode_drive_s
+
+    def test_partial_decode_needs_extra_combining_beyond_eight_subarrays(self, tech70):
+        small = decoder_timing(tech70, n_subarrays=MAX_SUBARRAYS_WITHOUT_COMBINE,
+                               rows_per_subarray=128)
+        large = decoder_timing(tech70, n_subarrays=32, rows_per_subarray=32)
+        # With <= 8 subarrays identification completes exactly at predecode.
+        assert small.subarray_identify_s == pytest.approx(
+            small.decode_drive_s + small.predecode_s
+        )
+        assert large.subarray_identify_s > large.decode_drive_s + large.predecode_s
+
+    def test_precharge_margin_is_final_stage_or_less(self, tech70):
+        timing = decoder_timing(tech70, n_subarrays=32, rows_per_subarray=32)
+        assert timing.precharge_margin_s <= timing.final_decode_s
+        assert timing.precharge_margin_s > 0
+
+    def test_on_demand_fits_helper(self, tech70):
+        timing = decoder_timing(tech70, n_subarrays=32, rows_per_subarray=32)
+        assert timing.on_demand_fits(timing.precharge_margin_s * 0.5)
+        assert not timing.on_demand_fits(timing.precharge_margin_s * 2.0)
+
+    def test_degenerate_inputs_rejected(self, tech70):
+        with pytest.raises(ValueError):
+            decoder_timing(tech70, n_subarrays=0, rows_per_subarray=32)
+        with pytest.raises(ValueError):
+            decoder_timing(tech70, n_subarrays=32, rows_per_subarray=0)
+
+
+class TestIsolationTransient:
+    def test_peak_overhead_195_percent_at_180nm(self):
+        transient = isolation_transient(get_technology(180))
+        assert transient.peak_normalized_power == pytest.approx(1.95, rel=0.02)
+
+    def test_overhead_insignificant_at_70nm(self):
+        transient = isolation_transient(get_technology(70))
+        assert transient.switching_overhead < 0.01
+        assert transient.peak_normalized_power < 1.05
+
+    def test_overhead_decreases_monotonically_with_scaling(self):
+        overheads = [
+            isolation_transient(get_technology(nm)).switching_overhead
+            for nm in available_nodes()
+        ]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_settling_faster_in_newer_technology(self):
+        settle_180 = isolation_transient(get_technology(180)).settling_time_s
+        settle_70 = isolation_transient(get_technology(70)).settling_time_s
+        assert settle_70 < settle_180
+
+    def test_power_decays_towards_zero(self, tech70):
+        transient = isolation_transient(tech70)
+        first = transient.samples[0].normalized_power
+        last = transient.samples[-1].normalized_power
+        assert first > last
+        assert last < 0.05
+
+    def test_samples_cover_requested_duration(self, tech70):
+        transient = isolation_transient(tech70, duration_s=100e-9, samples=11)
+        assert len(transient.samples) == 11
+        assert transient.samples[0].time_s == 0.0
+        assert transient.samples[-1].time_s == pytest.approx(100e-9)
+
+    def test_power_at_matches_sample_values(self, tech70):
+        transient = isolation_transient(tech70)
+        for point in transient.samples[:5]:
+            assert transient.power_at(point.time_s) == pytest.approx(
+                point.normalized_power
+            )
+
+    def test_invalid_arguments_rejected(self, tech70):
+        with pytest.raises(ValueError):
+            isolation_transient(tech70, samples=1)
+        with pytest.raises(ValueError):
+            isolation_transient(tech70, duration_s=0.0)

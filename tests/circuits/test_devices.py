@@ -1,0 +1,111 @@
+"""Tests for the SRAM cell, precharge device, wire and sense-amp models."""
+
+import pytest
+
+from repro.circuits.precharge_device import DEFAULT_SIZE_RATIO, PrechargeDevice
+from repro.circuits.sense_amp import SenseAmplifier
+from repro.circuits.sram_cell import READ_DISCHARGE_SWING_V, SRAMCell
+from repro.circuits.technology import get_technology
+from repro.circuits.wires import Wire
+
+
+class TestSRAMCell:
+    def test_default_access_width_is_positive(self, tech70):
+        cell = SRAMCell(tech=tech70)
+        assert cell.access_width_um > 0
+
+    def test_leakage_scales_with_technology(self, tech70, tech180):
+        old = SRAMCell(tech=tech180)
+        new = SRAMCell(tech=tech70)
+        # Leakage current per cell grows despite the smaller transistor.
+        assert new.bitline_leakage_current_a > old.bitline_leakage_current_a
+
+    def test_multi_port_cell_leaks_proportionally_more_power(self, tech70):
+        single = SRAMCell(tech=tech70, ports=1)
+        dual = SRAMCell(tech=tech70, ports=2)
+        assert dual.cell_leakage_power_w == pytest.approx(2 * single.cell_leakage_power_w)
+
+    def test_read_discharge_energy_uses_small_swing(self, tech70):
+        cell = SRAMCell(tech=tech70)
+        cap = 20e-15
+        expected = cap * tech70.supply_voltage * READ_DISCHARGE_SWING_V
+        assert cell.read_discharge_energy_j(cap) == pytest.approx(expected)
+
+    def test_invalid_port_count_rejected(self, tech70):
+        with pytest.raises(ValueError):
+            SRAMCell(tech=tech70, ports=0)
+
+    def test_read_current_positive(self, tech70):
+        assert SRAMCell(tech=tech70).read_current_a > 0
+
+
+class TestPrechargeDevice:
+    def test_sized_ten_times_cell_by_default(self, tech70):
+        cell = SRAMCell(tech=tech70)
+        device = PrechargeDevice.sized_from_cell(tech70, cell.access_width_um)
+        assert device.width_um == pytest.approx(DEFAULT_SIZE_RATIO * cell.access_width_um)
+
+    def test_switching_energy_is_half_cv_squared(self, tech70):
+        device = PrechargeDevice(tech=tech70, width_um=1.0)
+        expected = 0.5 * device.gate_cap_f * tech70.supply_voltage ** 2
+        assert device.switching_energy_j == pytest.approx(expected)
+
+    def test_switching_energy_shrinks_with_scaling(self):
+        old_cell = SRAMCell(tech=get_technology(180))
+        new_cell = SRAMCell(tech=get_technology(70))
+        old = PrechargeDevice.sized_from_cell(get_technology(180), old_cell.access_width_um)
+        new = PrechargeDevice.sized_from_cell(get_technology(70), new_cell.access_width_um)
+        assert new.switching_energy_j < old.switching_energy_j
+
+    def test_bigger_device_pulls_up_faster(self, tech70):
+        small = PrechargeDevice(tech=tech70, width_um=1.0)
+        big = PrechargeDevice(tech=tech70, width_um=4.0)
+        cap, swing = 50e-15, 1.0
+        assert big.pull_up_time_s(cap, swing) < small.pull_up_time_s(cap, swing)
+
+    def test_zero_swing_needs_no_time(self, tech70):
+        device = PrechargeDevice(tech=tech70, width_um=1.0)
+        assert device.pull_up_time_s(50e-15, 0.0) == 0.0
+
+    def test_negative_inputs_rejected(self, tech70):
+        device = PrechargeDevice(tech=tech70, width_um=1.0)
+        with pytest.raises(ValueError):
+            device.pull_up_time_s(-1e-15, 1.0)
+        with pytest.raises(ValueError):
+            PrechargeDevice.sized_from_cell(tech70, 1.0, size_ratio=0)
+
+    def test_off_leakage_much_smaller_than_drive(self, tech70):
+        device = PrechargeDevice(tech=tech70, width_um=2.0)
+        assert device.off_leakage_current_a < device.drive_current_a / 100
+
+
+class TestWire:
+    def test_capacitance_and_resistance_scale_with_length(self, tech70):
+        short = Wire(tech=tech70, length_um=10)
+        long = Wire(tech=tech70, length_um=100)
+        assert long.capacitance_f == pytest.approx(10 * short.capacitance_f)
+        assert long.resistance_ohm == pytest.approx(10 * short.resistance_ohm)
+
+    def test_elmore_delay_grows_quadratically(self, tech70):
+        short = Wire(tech=tech70, length_um=50)
+        long = Wire(tech=tech70, length_um=100)
+        assert long.elmore_delay_s == pytest.approx(4 * short.elmore_delay_s)
+
+    def test_loaded_delay_exceeds_unloaded(self, tech70):
+        wire = Wire(tech=tech70, length_um=100)
+        assert wire.delay_with_load_s(10e-15, 1000) > wire.elmore_delay_s
+
+    def test_negative_length_rejected(self, tech70):
+        with pytest.raises(ValueError):
+            Wire(tech=tech70, length_um=-1)
+
+
+class TestSenseAmplifier:
+    def test_energy_positive_and_scales_down(self):
+        old = SenseAmplifier(tech=get_technology(180))
+        new = SenseAmplifier(tech=get_technology(70))
+        assert 0 < new.energy_per_read_j < old.energy_per_read_j
+
+    def test_delay_tracks_fo4(self, tech70, tech180):
+        ratio = SenseAmplifier(tech=tech70).delay_s / SenseAmplifier(tech=tech180).delay_s
+        assert ratio == pytest.approx(tech70.fo4_delay_ps / tech180.fo4_delay_ps)

@@ -1,0 +1,89 @@
+"""Tests for the technology-node models (Table 1 and scaling rules)."""
+
+import pytest
+
+from repro.circuits.technology import (
+    LEAKAGE_SCALING_PER_GENERATION,
+    SWITCHING_SCALING_PER_GENERATION,
+    TECHNOLOGY_NODES,
+    available_nodes,
+    get_technology,
+)
+
+
+class TestTable1Parameters:
+    def test_four_nodes_modelled(self):
+        assert available_nodes() == [180, 130, 100, 70]
+
+    @pytest.mark.parametrize(
+        "nm,vdd,ghz",
+        [(180, 1.8, 2.0), (130, 1.5, 2.7), (100, 1.2, 3.5), (70, 1.0, 5.0)],
+    )
+    def test_published_supply_and_frequency(self, nm, vdd, ghz):
+        node = get_technology(nm)
+        assert node.supply_voltage == pytest.approx(vdd)
+        assert node.clock_frequency_ghz == pytest.approx(ghz)
+
+    def test_cycle_time_is_reciprocal_of_frequency(self):
+        node = get_technology(70)
+        assert node.cycle_time_ns == pytest.approx(0.2)
+        assert node.cycle_time_s == pytest.approx(0.2e-9)
+
+    def test_fo4_tracks_eight_per_cycle(self):
+        for nm in available_nodes():
+            node = get_technology(nm)
+            assert 8 * node.fo4_delay_ps == pytest.approx(node.cycle_time_ns * 1e3)
+
+    def test_feature_size_in_microns(self):
+        assert get_technology(180).feature_size_um == pytest.approx(0.18)
+        assert get_technology(70).feature_size_um == pytest.approx(0.07)
+
+
+class TestScalingRules:
+    def test_generation_indices_increase_with_scaling(self):
+        indices = [get_technology(nm).generation_index for nm in available_nodes()]
+        assert indices == [0, 1, 2, 3]
+
+    def test_leakage_grows_3_5x_per_generation(self):
+        for nm in available_nodes():
+            node = get_technology(nm)
+            assert node.relative_leakage == pytest.approx(
+                LEAKAGE_SCALING_PER_GENERATION ** node.generation_index
+            )
+
+    def test_switching_halves_per_generation(self):
+        for nm in available_nodes():
+            node = get_technology(nm)
+            assert node.relative_switching == pytest.approx(
+                SWITCHING_SCALING_PER_GENERATION ** node.generation_index
+            )
+
+    def test_leakage_to_switching_ratio_grows_7x_per_generation(self):
+        n180 = get_technology(180)
+        n70 = get_technology(70)
+        assert n70.leakage_to_switching_ratio / n180.leakage_to_switching_ratio == (
+            pytest.approx(7.0 ** 3)
+        )
+
+    def test_leakage_current_increases_with_scaling(self):
+        currents = [get_technology(nm).leakage_current_na_per_um for nm in available_nodes()]
+        assert currents == sorted(currents)
+
+    def test_scaled_from_counts_generations(self):
+        assert get_technology(70).scaled_from(get_technology(180)) == 3
+        assert get_technology(180).scaled_from(get_technology(70)) == -3
+
+
+class TestLookup:
+    def test_unknown_node_raises_key_error(self):
+        with pytest.raises(KeyError, match="valid nodes"):
+            get_technology(90)
+
+    def test_nodes_are_frozen(self):
+        node = get_technology(70)
+        with pytest.raises(AttributeError):
+            node.supply_voltage = 2.0
+
+    def test_registry_keys_match_feature_sizes(self):
+        for nm, node in TECHNOLOGY_NODES.items():
+            assert node.feature_size_nm == nm

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.energy_accounting import EnergyLedger
+from repro.circuits.cacti import CacheOrganization, cache_organization
+from repro.circuits.technology import get_technology
+from repro.sim import SimulationConfig, run_simulation
+
+
+@pytest.fixture(scope="session")
+def tech70():
+    """The 70nm technology node."""
+    return get_technology(70)
+
+
+@pytest.fixture(scope="session")
+def tech180():
+    """The 180nm technology node."""
+    return get_technology(180)
+
+
+@pytest.fixture(scope="session")
+def l1_org() -> CacheOrganization:
+    """The paper's base L1 organisation: 32KB, 2-way, 32B lines, 1KB subarrays."""
+    return cache_organization(70, 32 * 1024, 32, 2, 1024, ports=2)
+
+
+@pytest.fixture()
+def ledger(l1_org) -> EnergyLedger:
+    """A fresh energy ledger for the base L1 organisation."""
+    return EnergyLedger(l1_org.subarray, l1_org.n_subarrays)
+
+
+def make_attached(policy, org=None):
+    """Attach a policy to an organisation with a fresh ledger; returns (policy, ledger)."""
+    org = org or cache_organization(70, 32 * 1024, 32, 2, 1024, ports=2)
+    ledger = EnergyLedger(org.subarray, org.n_subarrays)
+    policy.attach(org, ledger)
+    return policy, ledger
+
+
+@pytest.fixture(scope="session")
+def small_baseline_run():
+    """A short static-pull-up run of gcc shared by integration-style tests."""
+    config = SimulationConfig(
+        benchmark="gcc",
+        dcache_policy="static",
+        icache_policy="static",
+        feature_size_nm=70,
+        n_instructions=6_000,
+    )
+    return run_simulation(config)
+
+
+@pytest.fixture(scope="session")
+def small_gated_run():
+    """A short gated-precharging run of gcc shared by integration-style tests."""
+    config = SimulationConfig(
+        benchmark="gcc",
+        dcache_policy="gated-predecode",
+        icache_policy="gated",
+        feature_size_nm=70,
+        n_instructions=6_000,
+    )
+    return run_simulation(config)

@@ -1,0 +1,124 @@
+"""Tests for the precharge-control policies (static, oracle, on-demand)."""
+
+import pytest
+
+from repro.core import (
+    OnDemandPrechargePolicy,
+    OraclePrechargePolicy,
+    StaticPullUpPolicy,
+)
+
+from tests.conftest import make_attached
+
+
+class TestStaticPullUp:
+    def test_never_delays(self):
+        policy, _ = make_attached(StaticPullUpPolicy())
+        for cycle in (0, 100, 10_000):
+            assert policy.access(0, cycle) == 0
+        assert policy.stats.delayed_accesses == 0
+        assert policy.stats.prediction_accuracy == 1.0
+
+    def test_everything_precharged_all_the_time(self):
+        policy, ledger = make_attached(StaticPullUpPolicy())
+        policy.access(0, 100)
+        policy.access(5, 400)
+        policy.finalize(1000)
+        breakdown = ledger.breakdown(1000)
+        assert breakdown.precharged_fraction == pytest.approx(1.0)
+        assert breakdown.relative_discharge == pytest.approx(1.0)
+
+    def test_all_subarrays_reported_precharged(self):
+        policy, _ = make_attached(StaticPullUpPolicy())
+        assert policy.precharged_subarrays(500) == policy.organization.n_subarrays
+
+    def test_requires_attachment(self):
+        with pytest.raises(RuntimeError):
+            StaticPullUpPolicy().access(0, 0)
+
+
+class TestOracle:
+    def test_never_delays_accesses(self):
+        policy, _ = make_attached(OraclePrechargePolicy())
+        for cycle in (10, 500, 20_000):
+            assert policy.access(3, cycle) == 0
+        assert policy.stats.delayed_accesses == 0
+
+    def test_precharged_fraction_is_tiny(self):
+        policy, ledger = make_attached(OraclePrechargePolicy())
+        for cycle in range(0, 50_000, 50):
+            policy.access(cycle % 32, cycle)
+        policy.finalize(50_000)
+        breakdown = ledger.breakdown(50_000)
+        assert breakdown.precharged_fraction < 0.01
+
+    def test_large_discharge_savings_at_70nm(self):
+        policy, ledger = make_attached(OraclePrechargePolicy())
+        # One access per subarray every 3200 cycles (realistic hot pattern).
+        for cycle in range(0, 100_000, 100):
+            policy.access((cycle // 100) % 32, cycle)
+        policy.finalize(100_000)
+        breakdown = ledger.breakdown(100_000)
+        assert breakdown.discharge_savings > 0.7
+
+    def test_toggles_once_per_idle_interval(self):
+        policy, ledger = make_attached(OraclePrechargePolicy())
+        for cycle in (0, 1000, 2000, 3000):
+            policy.access(0, cycle)
+        # Three idle intervals between the four accesses end in a toggle.
+        assert policy.stats.toggles == 3
+        policy.finalize(4000)
+        # Finalize closes subarray 0's trailing interval plus the 31
+        # never-accessed subarrays (isolated after their initial hold).
+        assert ledger.toggles == 3 + 32
+
+    def test_hold_cycles_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OraclePrechargePolicy(hold_cycles=0)
+
+    def test_is_precharged_only_during_access_window(self):
+        policy, _ = make_attached(OraclePrechargePolicy(hold_cycles=2))
+        policy.access(0, 100)
+        assert policy._is_precharged(0, 101)
+        assert not policy._is_precharged(0, 200)
+
+
+class TestOnDemand:
+    def test_every_access_is_delayed(self):
+        policy, _ = make_attached(OnDemandPrechargePolicy())
+        penalties = [policy.access(1, cycle) for cycle in (0, 10, 1000)]
+        assert all(p >= 1 for p in penalties)
+        assert policy.stats.delayed_accesses == 3
+        assert policy.stats.prediction_accuracy == 0.0
+
+    def test_penalty_matches_pull_up_cycles(self):
+        policy, _ = make_attached(OnDemandPrechargePolicy())
+        penalty = policy.access(0, 100)
+        assert penalty == policy.penalty_cycles_per_delayed_access
+        assert penalty == policy.organization.isolated_access_penalty_cycles
+
+    def test_energy_accounting_matches_oracle(self):
+        """On-demand saves the same discharge as the oracle (Section 5)."""
+        ondemand, ledger_od = make_attached(OnDemandPrechargePolicy())
+        oracle, ledger_or = make_attached(OraclePrechargePolicy())
+        for cycle in range(0, 20_000, 40):
+            subarray = (cycle // 40) % 32
+            ondemand.access(subarray, cycle)
+            oracle.access(subarray, cycle)
+        ondemand.finalize(20_000)
+        oracle.finalize(20_000)
+        od = ledger_od.breakdown(20_000)
+        orc = ledger_or.breakdown(20_000)
+        assert od.relative_discharge == pytest.approx(orc.relative_discharge, rel=1e-6)
+
+    def test_hold_cycles_validated(self):
+        with pytest.raises(ValueError):
+            OnDemandPrechargePolicy(hold_cycles=0)
+
+    def test_finalize_idempotent(self):
+        policy, ledger = make_attached(OnDemandPrechargePolicy())
+        policy.access(0, 100)
+        policy.finalize(1000)
+        first = ledger.breakdown(1000).bitline_discharge_j
+        policy.finalize(1000)
+        assert ledger.breakdown(1000).bitline_discharge_j == pytest.approx(first)

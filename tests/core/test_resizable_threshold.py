@@ -1,0 +1,147 @@
+"""Tests for the resizable-cache baseline and threshold selection."""
+
+import pytest
+
+from repro.core import ResizableCachePolicy
+from repro.core.threshold import (
+    CANDIDATE_THRESHOLDS,
+    ThresholdProfile,
+    select_threshold,
+)
+
+from tests.conftest import make_attached
+
+
+class TestResizableCache:
+    def test_starts_at_full_size(self):
+        policy, _ = make_attached(ResizableCachePolicy(interval_accesses=100))
+        assert policy.active_subarrays == policy.organization.n_subarrays
+
+    def test_accesses_never_delayed(self):
+        policy, _ = make_attached(ResizableCachePolicy(interval_accesses=100))
+        for cycle in range(0, 5000, 10):
+            assert policy.access(0, cycle) == 0
+        assert policy.stats.delayed_accesses == 0
+
+    def test_downsizes_when_miss_ratio_stays_low(self):
+        policy, _ = make_attached(ResizableCachePolicy(interval_accesses=50))
+        cycle = 0
+        for _ in range(200):
+            policy.access(0, cycle)
+            policy.note_outcome(hit=True, cycle=cycle)
+            cycle += 10
+        assert policy.active_subarrays < policy.organization.n_subarrays
+        assert policy.resize_events >= 1
+
+    def test_upsizes_when_misses_exceed_slack(self):
+        policy, _ = make_attached(
+            ResizableCachePolicy(interval_accesses=50, miss_ratio_slack=0.01)
+        )
+        cycle = 0
+        # First interval: perfect hits at full size (establishes the reference),
+        # and lets the cache shrink.
+        for _ in range(120):
+            policy.access(0, cycle)
+            policy.note_outcome(hit=True, cycle=cycle)
+            cycle += 10
+        shrunk = policy.active_subarrays
+        # Now misses spike: the policy must grow back.
+        for _ in range(120):
+            policy.access(0, cycle)
+            policy.note_outcome(hit=False, cycle=cycle)
+            cycle += 10
+        assert policy.active_subarrays > shrunk
+
+    def test_never_shrinks_below_minimum(self):
+        policy, _ = make_attached(
+            ResizableCachePolicy(interval_accesses=20, min_active_fraction=0.25)
+        )
+        cycle = 0
+        for _ in range(2000):
+            policy.access(0, cycle)
+            policy.note_outcome(hit=True, cycle=cycle)
+            cycle += 5
+        assert policy.active_subarrays >= policy.organization.n_subarrays // 4
+
+    def test_remap_set_restricts_index_range(self):
+        policy, _ = make_attached(ResizableCachePolicy(interval_accesses=20))
+        n_sets = 512
+        cycle = 0
+        for _ in range(200):
+            policy.access(0, cycle)
+            policy.note_outcome(hit=True, cycle=cycle)
+            cycle += 5
+        active_sets = n_sets * policy.active_subarrays // policy.organization.n_subarrays
+        for set_index in (0, 100, 511):
+            assert policy.remap_set(set_index, n_sets) < active_sets
+
+    def test_inactive_subarrays_are_isolated_in_energy_accounting(self):
+        policy, ledger = make_attached(ResizableCachePolicy(interval_accesses=20))
+        cycle = 0
+        for _ in range(400):
+            policy.access(0, cycle)
+            policy.note_outcome(hit=True, cycle=cycle)
+            cycle += 5
+        policy.finalize(cycle)
+        breakdown = ledger.breakdown(cycle)
+        assert breakdown.precharged_fraction < 1.0
+        assert breakdown.relative_discharge < 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ResizableCachePolicy(interval_accesses=0)
+        with pytest.raises(ValueError):
+            ResizableCachePolicy(min_active_fraction=0.0)
+        with pytest.raises(ValueError):
+            ResizableCachePolicy(miss_ratio_slack=-0.1)
+
+
+class TestThresholdSelection:
+    def _profile(self, gaps, total_cycles=100_000, **kwargs):
+        return ThresholdProfile(gaps=gaps, total_cycles=total_cycles, **kwargs)
+
+    def test_counts_delayed_accesses(self):
+        profile = self._profile([5, 50, 500, 5000])
+        assert profile.delayed_accesses(100) == 2
+        assert profile.delayed_accesses(10_000) == 0
+
+    def test_estimated_slowdown_scales_with_penalty(self):
+        profile_cheap = self._profile([500] * 100, penalty_cycles=1)
+        profile_costly = self._profile([500] * 100, penalty_cycles=1, replay_factor=3.0)
+        assert profile_costly.estimated_slowdown(100) == pytest.approx(
+            3 * profile_cheap.estimated_slowdown(100)
+        )
+
+    def test_predecode_coverage_reduces_estimate(self):
+        bare = self._profile([500] * 100)
+        covered = self._profile([500] * 100, predecode_coverage=0.8)
+        assert covered.estimated_slowdown(100) == pytest.approx(
+            0.2 * bare.estimated_slowdown(100)
+        )
+
+    def test_select_most_aggressive_within_budget(self):
+        # 30k short gaps (30 cycles) would all be delayed by thresholds of 10
+        # or 20 (3% slowdown, over budget); threshold 50 only delays the 1000
+        # long gaps (0.1%), so 50 is the most aggressive admissible choice.
+        gaps = [30] * 30_000 + [150] * 1_000
+        profile = self._profile(gaps, total_cycles=1_000_000)
+        assert select_threshold(profile, budget=0.01) == 50
+
+    def test_select_falls_back_to_largest_candidate(self):
+        # Huge number of large gaps: nothing fits a tiny budget.
+        gaps = [5000] * 50_000
+        profile = self._profile(gaps, total_cycles=100_000)
+        assert select_threshold(profile, budget=1e-9) == max(CANDIDATE_THRESHOLDS)
+
+    def test_low_locality_workload_gets_larger_threshold(self):
+        tight = self._profile([20] * 2000, total_cycles=100_000)
+        scattered = self._profile([400] * 2000, total_cycles=100_000)
+        assert select_threshold(tight) <= select_threshold(scattered)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            select_threshold(self._profile([10]), candidates=[])
+        with pytest.raises(ValueError):
+            select_threshold(self._profile([10]), candidates=[0])
+        with pytest.raises(ValueError):
+            self._profile([10], total_cycles=0).estimated_slowdown(10)

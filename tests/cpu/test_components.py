@@ -1,0 +1,240 @@
+"""Tests for the CPU building blocks: predictor, rename, ROB, IQ, LSQ, replay."""
+
+import random
+
+import pytest
+
+from repro.cpu.branch_predictor import CombinationPredictor, TwoBitCounter
+from repro.cpu.issue_queue import IssueQueue
+from repro.cpu.load_speculation import LoadHitSpeculation
+from repro.cpu.lsq import LoadStoreQueue
+from repro.cpu.regfile import RenameTable
+from repro.cpu.rob import InFlightOp, ReorderBuffer
+from repro.workloads.trace import MicroOp, OP_ALU, OP_LOAD, OP_STORE
+
+
+def make_op(sequence=0, op_type=OP_ALU, dest=1, src1=None, src2=None,
+            address=None, dispatched=0):
+    uop = MicroOp(op_type=op_type, pc=0x1000 + 4 * sequence, dest=dest,
+                  src1=src1, src2=src2, address=address)
+    return InFlightOp(uop=uop, sequence=sequence, dispatched_cycle=dispatched)
+
+
+class TestTwoBitCounter:
+    def test_default_is_weakly_not_taken(self):
+        assert not TwoBitCounter().taken
+
+    def test_trains_towards_taken(self):
+        counter = TwoBitCounter()
+        counter.update(True)
+        counter.update(True)
+        assert counter.taken
+
+    def test_saturates(self):
+        counter = TwoBitCounter(3)
+        counter.update(True)
+        assert counter.value == 3
+        for _ in range(5):
+            counter.update(False)
+        assert counter.value == 0
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            TwoBitCounter(4)
+
+
+class TestCombinationPredictor:
+    def test_learns_strongly_biased_branches(self):
+        predictor = CombinationPredictor()
+        for _ in range(200):
+            predictor.update(0x4000, True)
+        assert predictor.predict(0x4000) is True
+        assert predictor.stats.accuracy > 0.95
+
+    def test_learns_per_pc_biases(self):
+        predictor = CombinationPredictor()
+        rng = random.Random(0)
+        biases = {0x1000 + 4 * i: (i % 2 == 0) for i in range(64)}
+        correct = total = 0
+        for _ in range(20_000):
+            pc = rng.choice(list(biases))
+            if predictor.update(pc, biases[pc]):
+                correct += 1
+            total += 1
+        assert correct / total > 0.9
+
+    def test_gshare_learns_alternating_pattern(self):
+        predictor = CombinationPredictor()
+        outcome = True
+        hits = 0
+        for i in range(2000):
+            outcome = not outcome
+            if predictor.update(0x2000, outcome):
+                hits += 1
+        # A global-history component should do far better than 50% here.
+        assert hits / 2000 > 0.8
+
+    def test_too_small_tables_rejected(self):
+        with pytest.raises(ValueError):
+            CombinationPredictor(table_bits=2)
+
+
+class TestRenameTable:
+    def test_tracks_latest_writer(self):
+        table = RenameTable(8)
+        op_a = make_op(sequence=0, dest=3)
+        op_b = make_op(sequence=1, dest=3)
+        table.set_writer(3, op_a)
+        table.set_writer(3, op_b)
+        assert table.writer(3) is op_b
+
+    def test_none_register_has_no_writer(self):
+        table = RenameTable(8)
+        assert table.writer(None) is None
+        table.set_writer(None, make_op())
+        assert table.writer(None) is None
+
+    def test_reset_clears_writers(self):
+        table = RenameTable(8)
+        table.set_writer(1, make_op())
+        table.reset()
+        assert table.writer(1) is None
+
+
+class TestReorderBuffer:
+    def test_commits_in_order_only(self):
+        rob = ReorderBuffer(capacity=4)
+        first, second = make_op(0), make_op(1)
+        rob.push(first)
+        rob.push(second)
+        second.complete_cycle = 5
+        assert rob.commit_ready(cycle=10, width=4) == 0  # head not complete
+        first.complete_cycle = 8
+        assert rob.commit_ready(cycle=10, width=4) == 2
+
+    def test_commit_respects_width(self):
+        rob = ReorderBuffer(capacity=8)
+        ops = [make_op(i) for i in range(6)]
+        for op in ops:
+            op.complete_cycle = 1
+            rob.push(op)
+        assert rob.commit_ready(cycle=5, width=4) == 4
+        assert rob.commit_ready(cycle=5, width=4) == 2
+
+    def test_full_rob_rejects_push(self):
+        rob = ReorderBuffer(capacity=1)
+        rob.push(make_op(0))
+        assert rob.is_full
+        with pytest.raises(RuntimeError):
+            rob.push(make_op(1))
+
+
+class TestIssueQueue:
+    def test_selects_oldest_ready_first(self):
+        queue = IssueQueue(capacity=8)
+        ops = [make_op(i) for i in range(4)]
+        for op in ops:
+            queue.push(op)
+        ready = {0: 0, 1: 100, 2: 0, 3: 0}
+        selected = queue.select_ready(
+            cycle=0, width=2,
+            ready_cycle_of=lambda op: ready[op.sequence],
+            memory_ports=4, is_memory=lambda op: False,
+        )
+        assert [op.sequence for op in selected] == [0, 2]
+        assert len(queue) == 2
+
+    def test_memory_port_limit_enforced(self):
+        queue = IssueQueue(capacity=8)
+        for i in range(4):
+            queue.push(make_op(i, op_type=OP_LOAD, address=0x100 * i))
+        selected = queue.select_ready(
+            cycle=0, width=8,
+            ready_cycle_of=lambda op: 0,
+            memory_ports=2, is_memory=lambda op: op.uop.is_memory,
+        )
+        assert len(selected) == 2
+
+    def test_dependents_of_matches_producer_reference(self):
+        queue = IssueQueue(capacity=8)
+        producer = make_op(0, dest=5)
+        consumer = make_op(1, src1=5)
+        consumer.producer1 = producer
+        unrelated = make_op(2, src1=5)  # same register, different producer
+        queue.push(consumer)
+        queue.push(unrelated)
+        assert queue.dependents_of(producer) == [consumer]
+        assert queue.dependents_of(None) == []
+
+    def test_reinsert_keeps_age_order(self):
+        queue = IssueQueue(capacity=8)
+        queue.push(make_op(5))
+        early = make_op(2)
+        queue.reinsert(early)
+        selected = queue.select_ready(
+            cycle=0, width=1, ready_cycle_of=lambda op: 0,
+            memory_ports=4, is_memory=lambda op: False,
+        )
+        assert selected[0].sequence == 2
+
+    def test_full_queue_rejects_push(self):
+        queue = IssueQueue(capacity=1)
+        queue.push(make_op(0))
+        with pytest.raises(RuntimeError):
+            queue.push(make_op(1))
+
+
+class TestLoadStoreQueue:
+    def test_store_to_load_forwarding(self):
+        lsq = LoadStoreQueue(capacity=8)
+        store = make_op(0, op_type=OP_STORE, address=0x1000)
+        lsq.insert(store, line_address=0x40)
+        assert lsq.can_forward(load_sequence=5, line_address=0x40)
+        assert not lsq.can_forward(load_sequence=5, line_address=0x41)
+
+    def test_younger_store_does_not_forward(self):
+        lsq = LoadStoreQueue(capacity=8)
+        lsq.insert(make_op(10, op_type=OP_STORE, address=0x1000), line_address=0x40)
+        assert not lsq.can_forward(load_sequence=5, line_address=0x40)
+
+    def test_retirement_frees_entries(self):
+        lsq = LoadStoreQueue(capacity=2)
+        lsq.insert(make_op(0, op_type=OP_LOAD, address=0x0), line_address=0)
+        lsq.insert(make_op(1, op_type=OP_LOAD, address=0x40), line_address=1)
+        assert lsq.is_full
+        lsq.retire_older_than(2)
+        assert lsq.occupancy() == 0
+
+
+class TestLoadHitSpeculation:
+    def test_hit_within_speculative_latency_is_not_a_misprediction(self):
+        spec = LoadHitSpeculation(speculative_latency=3)
+        queue = IssueQueue()
+        load = make_op(0, op_type=OP_LOAD, address=0x100)
+        ready = spec.resolve_load(load, issue_cycle=10, actual_latency=3, issue_queue=queue)
+        assert ready == 13
+        assert spec.stats.mispredicted_loads == 0
+
+    def test_slow_load_replays_dependents(self):
+        spec = LoadHitSpeculation(speculative_latency=3)
+        queue = IssueQueue()
+        load = make_op(0, op_type=OP_LOAD, dest=7, address=0x100)
+        dependent = make_op(1, src1=7)
+        dependent.producer1 = load
+        queue.push(dependent)
+        ready = spec.resolve_load(load, issue_cycle=10, actual_latency=4, issue_queue=queue)
+        assert ready == 14
+        assert spec.stats.mispredicted_loads == 1
+        assert spec.stats.replayed_uops == 1
+        assert dependent.replayed == 1
+
+    def test_misprediction_rate(self):
+        spec = LoadHitSpeculation(speculative_latency=3)
+        queue = IssueQueue()
+        for latency in (3, 3, 5, 3):
+            spec.resolve_load(make_op(op_type=OP_LOAD, address=0), 0, latency, queue)
+        assert spec.stats.misprediction_rate == pytest.approx(0.25)
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LoadHitSpeculation(speculative_latency=0)

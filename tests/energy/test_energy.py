@@ -1,0 +1,107 @@
+"""Tests for the Wattch-style processor energy model and cache energy reports."""
+
+import pytest
+
+from repro.circuits.technology import get_technology
+from repro.cpu.stats import PipelineStats
+from repro.energy import CacheEnergyReport, WattchEnergyModel, combine_run_energy
+from repro.cache.energy_accounting import EnergyLedger
+from repro.circuits.cacti import cache_organization
+
+
+def make_stats(**kwargs):
+    defaults = dict(
+        cycles=10_000,
+        committed_instructions=8_000,
+        fetched_instructions=9_000,
+        branches=1_500,
+        branch_mispredictions=100,
+        load_replays=0,
+    )
+    defaults.update(kwargs)
+    return PipelineStats(**defaults)
+
+
+def make_breakdowns(precharged_cycles=1000, total_cycles=1000):
+    org = cache_organization(70, 32 * 1024, 32, 2, 1024, ports=2)
+    breakdowns = {}
+    for name in ("L1D", "L1I"):
+        ledger = EnergyLedger(org.subarray, org.n_subarrays)
+        for subarray in range(org.n_subarrays):
+            ledger.note_precharged_interval(subarray, precharged_cycles)
+            if precharged_cycles < total_cycles:
+                ledger.note_isolated_interval(subarray, total_cycles - precharged_cycles)
+        breakdowns[name] = ledger.breakdown(total_cycles)
+    return breakdowns
+
+
+class TestWattchModel:
+    def test_energy_scales_with_activity(self):
+        model = WattchEnergyModel(get_technology(70))
+        light = model.breakdown(make_stats(committed_instructions=1000, cycles=2000))
+        heavy = model.breakdown(make_stats(committed_instructions=8000, cycles=10_000))
+        assert heavy.total_j > light.total_j
+
+    def test_energy_scales_down_with_technology(self):
+        stats = make_stats()
+        old = WattchEnergyModel(get_technology(180)).breakdown(stats)
+        new = WattchEnergyModel(get_technology(70)).breakdown(stats)
+        assert new.total_j < old.total_j
+
+    def test_clock_energy_always_present(self):
+        breakdown = WattchEnergyModel(get_technology(70)).breakdown(make_stats())
+        assert breakdown.by_structure["clock"] > 0
+        assert 0 < breakdown.fraction("clock") < 1
+
+    def test_replays_add_energy(self):
+        model = WattchEnergyModel(get_technology(70))
+        clean = model.breakdown(make_stats(load_replays=0))
+        replayed = model.breakdown(make_stats(load_replays=2000))
+        assert replayed.total_j > clean.total_j
+
+    def test_replay_overhead_small_for_few_replays(self):
+        model = WattchEnergyModel(get_technology(70))
+        overhead = model.replay_energy_overhead(make_stats(load_replays=50))
+        assert 0 <= overhead < 0.01
+
+
+class TestCacheEnergyReport:
+    def test_combine_without_pipeline_stats(self):
+        report = combine_run_energy(make_breakdowns(), tech=get_technology(70))
+        assert isinstance(report, CacheEnergyReport)
+        assert report.processor is None
+        assert report.dcache_relative_discharge == pytest.approx(1.0)
+
+    def test_combine_with_pipeline_stats_attaches_processor_energy(self):
+        report = combine_run_energy(
+            make_breakdowns(), tech=get_technology(70), pipeline_stats=make_stats()
+        )
+        assert report.processor is not None
+        assert report.processor.total_j > 0
+
+    def test_partially_isolated_cache_reports_savings(self):
+        report = combine_run_energy(
+            make_breakdowns(precharged_cycles=100, total_cycles=10_000),
+            tech=get_technology(70),
+        )
+        assert report.dcache_discharge_savings > 0.5
+        assert report.icache_discharge_savings > 0.5
+        assert 0 < report.dcache_overall_savings <= report.dcache_discharge_savings + 1e-9
+
+    def test_as_dict_contains_headline_metrics(self):
+        report = combine_run_energy(make_breakdowns(), tech=get_technology(70))
+        flat = report.as_dict()
+        assert set(flat) == {
+            "dcache_relative_discharge",
+            "icache_relative_discharge",
+            "dcache_precharged_fraction",
+            "icache_precharged_fraction",
+            "dcache_overall_savings",
+            "icache_overall_savings",
+        }
+
+    def test_total_cache_energy_is_sum_of_both_caches(self):
+        report = combine_run_energy(make_breakdowns(), tech=get_technology(70))
+        assert report.total_cache_energy_j == pytest.approx(
+            report.dcache.total_cache_energy_j + report.icache.total_cache_energy_j
+        )
