@@ -1,37 +1,26 @@
-"""Shared configuration for the benchmark harness.
+"""Pytest wiring for the benchmark harness.
 
 Each ``test_bench_*.py`` module regenerates one table or figure of the
 paper and reports the headline numbers through pytest-benchmark's
 ``extra_info`` as well as stdout (run with ``-s`` to see the full tables).
 
-By default the architectural experiments run a representative subset of
-the sixteen benchmarks with shortened instruction counts so the whole
-harness finishes in a few minutes; set ``REPRO_BENCH_FULL=1`` to sweep all
-sixteen benchmarks at the full default run length (as used for the numbers
-recorded in EXPERIMENTS.md).
+The shared constants and helpers live in :mod:`_harness`; this file makes
+that module importable under any pytest import mode and exposes the
+session fixtures.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 
 import pytest
 
-from repro.workloads.characteristics import benchmark_names
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
 
-#: Representative subset covering the paper's behaviour classes: two of the
-#: three high-miss-rate outliers (art, health), a large-code integer program
-#: (gcc), a regular FP program (mesa, wupwise) and a pointer-chasing Olden
-#: kernel (treeadd).
-FAST_BENCHMARKS = ["art", "gcc", "health", "mesa", "treeadd", "wupwise"]
-
-FULL = os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false")
-
-#: Benchmarks each experiment sweeps.
-BENCHMARKS = benchmark_names() if FULL else FAST_BENCHMARKS
-
-#: Micro-ops simulated per run.
-N_INSTRUCTIONS = 20_000 if FULL else 10_000
+from _harness import BENCHMARKS, N_INSTRUCTIONS  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -44,8 +33,3 @@ def bench_benchmarks():
 def bench_instructions():
     """The per-run instruction budget used by the harness."""
     return N_INSTRUCTIONS
-
-
-def run_once(benchmark, func, *args, **kwargs):
-    """Run ``func`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

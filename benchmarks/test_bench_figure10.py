@@ -7,7 +7,7 @@ instruction caches), with diminishing returns below 256B.
 
 from repro.experiments.figure10 import SUBARRAY_SIZES, figure10, format_figure10
 
-from conftest import FULL, run_once
+from _harness import FULL, run_once
 
 SIZES = SUBARRAY_SIZES if FULL else (4096, 1024, 256)
 

@@ -7,7 +7,7 @@ at 70nm the switching spike is insignificant and dies out quickly.
 
 from repro.experiments.figure2 import figure2, format_figure2
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_bench_figure2(benchmark):

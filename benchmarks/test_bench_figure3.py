@@ -6,7 +6,7 @@ and 90% (instruction cache) of the bitline discharge on average.
 
 from repro.experiments.figure3 import figure3, format_figure3
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_bench_figure3(benchmark, bench_benchmarks, bench_instructions):

@@ -8,7 +8,7 @@ high-miss-rate outliers (ammp, art, health) sit noticeably lower.
 from repro.experiments.figure5 import figure5, format_figure5
 from repro.sim.metrics import arithmetic_mean
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_bench_figure5(benchmark, bench_benchmarks, bench_instructions):

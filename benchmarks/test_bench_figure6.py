@@ -6,7 +6,7 @@ on average at a 100-cycle threshold, and at most ~40% at 1000 cycles.
 
 from repro.experiments.figure6 import figure6, format_figure6
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_bench_figure6(benchmark, bench_benchmarks, bench_instructions):

@@ -8,7 +8,7 @@ roughly 83% / 87% of the bitline discharge (78% / 81% with the constant
 
 from repro.experiments.figure8 import figure8, format_figure8
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_bench_figure8(benchmark, bench_benchmarks, bench_instructions):

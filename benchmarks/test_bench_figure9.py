@@ -7,7 +7,7 @@ improves sharply towards 70nm and ends clearly ahead.
 
 from repro.experiments.figure9 import figure9, format_figure9
 
-from conftest import FULL, run_once
+from _harness import FULL, run_once
 
 #: The two end-point nodes capture the scaling trend; the full sweep adds
 #: the intermediate generations.

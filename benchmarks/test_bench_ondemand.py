@@ -8,7 +8,7 @@ instruction caches on its 16-stage Wattch baseline) — far more than the
 
 from repro.experiments.ondemand import format_ondemand, ondemand_slowdown
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_bench_ondemand_slowdown(benchmark, bench_benchmarks, bench_instructions):

@@ -10,7 +10,7 @@ from repro.experiments.predecode_accuracy import (
     predecode_accuracy,
 )
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_bench_predecode_accuracy(benchmark, bench_benchmarks, bench_instructions):

@@ -2,7 +2,7 @@
 
 from repro.experiments.table1 import format_table1, table1_rows
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_bench_table1(benchmark):

@@ -2,7 +2,7 @@
 
 from repro.experiments.table2 import format_table2, table2_rows
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_bench_table2(benchmark):

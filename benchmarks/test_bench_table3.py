@@ -7,7 +7,7 @@ on-demand precharging always costs an extra cycle.
 
 from repro.experiments.table3 import format_table3, table3_rows
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_bench_table3(benchmark):

@@ -17,7 +17,7 @@ from __future__ import annotations
 import sys
 
 from repro.experiments.report import format_table
-from repro.sim import SimulationConfig, run_simulation, slowdown
+from repro.sim import PolicySpec, SimEngine, SimulationConfig, slowdown
 
 POLICIES = [
     ("static", "static"),
@@ -32,20 +32,22 @@ def main() -> None:
     benchmarks = sys.argv[1:] or ["gcc", "mesa", "health"]
     n_instructions = 15_000
 
+    engine = SimEngine()
     for benchmark in benchmarks:
-        rows = []
-        baseline = None
-        for dcache_policy, icache_policy in POLICIES:
-            config = SimulationConfig(
+        configs = [
+            SimulationConfig(
                 benchmark=benchmark,
-                dcache_policy=dcache_policy,
-                icache_policy=icache_policy,
+                dcache=PolicySpec(dcache_policy),
+                icache=PolicySpec(icache_policy),
                 feature_size_nm=70,
                 n_instructions=n_instructions,
             )
-            result = run_simulation(config)
-            if baseline is None:
-                baseline = result
+            for dcache_policy, icache_policy in POLICIES
+        ]
+        results = engine.run_many(configs, workers=min(4, len(configs)))
+        baseline = results[0]
+        rows = []
+        for (dcache_policy, _), result in zip(POLICIES, results):
             rows.append(
                 [
                     dcache_policy,

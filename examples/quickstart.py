@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.sim import SimulationConfig, run_simulation, slowdown
+from repro.sim import PolicySpec, SimEngine, SimulationConfig, slowdown
 
 
 def main() -> None:
@@ -24,24 +24,19 @@ def main() -> None:
 
     baseline_config = SimulationConfig(
         benchmark=benchmark,
-        dcache_policy="static",
-        icache_policy="static",
+        dcache=PolicySpec("static"),
+        icache=PolicySpec("static"),
         feature_size_nm=70,
         n_instructions=20_000,
     )
-    gated_config = SimulationConfig(
-        benchmark=benchmark,
-        dcache_policy="gated-predecode",
-        icache_policy="gated",
-        feature_size_nm=70,
-        dcache_threshold=threshold,
-        icache_threshold=threshold,
-        n_instructions=20_000,
+    gated_config = baseline_config.with_policies(
+        dcache=PolicySpec("gated-predecode", {"threshold": threshold}),
+        icache=PolicySpec("gated", {"threshold": threshold}),
     )
 
+    engine = SimEngine()
     print(f"Simulating {benchmark!r} at 70nm ({baseline_config.n_instructions} micro-ops)...")
-    baseline = run_simulation(baseline_config)
-    gated = run_simulation(gated_config)
+    baseline, gated = engine.run_many([baseline_config, gated_config])
 
     print()
     print(f"Baseline (static pull-up):   {baseline.summary()}")

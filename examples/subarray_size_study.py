@@ -17,25 +17,29 @@ import sys
 
 from repro.experiments.figure10 import SUBARRAY_SIZES
 from repro.experiments.report import format_table
-from repro.sim import SimulationConfig, run_simulation
+from repro.sim import PolicySpec, SimEngine, SimulationConfig
 
 
 def main() -> None:
     benchmarks = sys.argv[1:] or ["gcc", "treeadd"]
     n_instructions = 12_000
 
+    engine = SimEngine()
     for benchmark in benchmarks:
-        rows = []
-        for size in SUBARRAY_SIZES:
-            config = SimulationConfig(
+        configs = [
+            SimulationConfig(
                 benchmark=benchmark,
-                dcache_policy="gated-predecode",
-                icache_policy="gated",
+                dcache=PolicySpec("gated-predecode"),
+                icache=PolicySpec("gated"),
                 feature_size_nm=70,
                 subarray_bytes=size,
                 n_instructions=n_instructions,
             )
-            result = run_simulation(config)
+            for size in SUBARRAY_SIZES
+        ]
+        results = engine.run_many(configs, workers=min(4, len(configs)))
+        rows = []
+        for size, result in zip(SUBARRAY_SIZES, results):
             label = f"{size // 1024}KB" if size >= 1024 else f"{size}B"
             rows.append(
                 [

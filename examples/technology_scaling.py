@@ -24,7 +24,7 @@ import sys
 from repro.circuits import available_nodes, cache_organization, get_technology
 from repro.circuits.transient import isolation_transient
 from repro.experiments.report import format_table
-from repro.sim import SimulationConfig, run_simulation
+from repro.sim import PolicySpec, SimEngine, SimulationConfig
 
 
 def circuit_trends() -> None:
@@ -64,16 +64,20 @@ def circuit_trends() -> None:
 
 
 def architectural_consequence(benchmark: str) -> None:
-    rows = []
-    for nm in available_nodes():
-        config = SimulationConfig(
+    engine = SimEngine()
+    configs = [
+        SimulationConfig(
             benchmark=benchmark,
-            dcache_policy="gated-predecode",
-            icache_policy="gated",
+            dcache=PolicySpec("gated-predecode"),
+            icache=PolicySpec("gated"),
             feature_size_nm=nm,
             n_instructions=12_000,
         )
-        result = run_simulation(config)
+        for nm in available_nodes()
+    ]
+    results = engine.run_many(configs, workers=min(4, len(configs)))
+    rows = []
+    for nm, result in zip(available_nodes(), results):
         rows.append(
             [
                 nm,

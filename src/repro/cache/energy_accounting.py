@@ -24,8 +24,8 @@ resizable) notify the ledger of four kinds of events:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional
 
 from repro.circuits.subarray_circuit import SubarrayCircuit
 
@@ -87,6 +87,15 @@ class EnergyBreakdown:
     def total_cache_energy_j(self) -> float:
         """Total cache energy under the policy (discharge + dynamic)."""
         return self.bitline_discharge_j + self.dynamic_access_j
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (round-trips via :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EnergyBreakdown":
+        """Rebuild a breakdown from :meth:`to_dict` output."""
+        return cls(**data)
 
     @property
     def overall_energy_savings(self) -> float:

@@ -20,7 +20,7 @@ the paper measures ultimately reduces to four bitline quantities:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import exp
+from math import exp, expm1
 
 from .precharge_device import PrechargeDevice, DEFAULT_SIZE_RATIO
 from .sram_cell import SRAMCell
@@ -177,7 +177,10 @@ class Bitline:
         tau = self.decay_time_constant_s
         vdd = self.tech.supply_voltage
         g = self.leakage_conductance_s
-        return g * vdd * vdd * (tau / 2.0) * (1.0 - exp(-2.0 * idle_s / tau))
+        # expm1 keeps the short-interval limit exact: 1 - exp(-x) loses
+        # precision for tiny x and can round the integral slightly above
+        # the static-pull-up bound g*Vdd^2*t it must never exceed.
+        return g * vdd * vdd * (tau / 2.0) * -expm1(-2.0 * idle_s / tau)
 
     def static_discharge_energy_j(self, interval_s: float) -> float:
         """Energy (J) dissipated under static pull-up over ``interval_s``."""

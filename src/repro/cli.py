@@ -1,0 +1,335 @@
+"""The ``repro`` command line interface.
+
+Reproduce the paper from a shell::
+
+    python -m repro run --benchmark gcc --dcache gated-predecode:threshold=150
+    python -m repro sweep --dcache gated --workers 4 --benchmarks gcc,mesa,art
+    python -m repro experiment figure8 --json --benchmarks gcc,mesa
+    python -m repro experiment --list
+    python -m repro policies
+
+Every subcommand accepts ``--json`` for machine-readable output; run and
+sweep results are full :meth:`~repro.sim.metrics.RunResult.to_dict`
+payloads, and engine-driven experiment payloads (``"uses_engine": true``)
+carry the engine's underlying runs under ``"runs"``, so downstream
+tooling can rebuild them with
+:meth:`~repro.sim.metrics.RunResult.from_dict`.  ``--store DIR`` points
+the engine at an on-disk result store so repeated invocations resume
+instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, List, Optional, Sequence
+
+from repro.circuits.technology import get_technology
+from repro.core.registry import PolicySpec, get_policy_info, policy_names
+from repro.experiments.registry import ExperimentOptions, experiment_names, get_experiment
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimEngine
+from repro.workloads.characteristics import get_benchmark
+
+__all__ = ["main", "build_parser"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Best-effort conversion of result objects to JSON-safe values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonify(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _validate_user_input(benchmarks: Optional[List[str]], feature_size: Optional[int]) -> None:
+    """Convert the domain lookups' KeyError into the CLI's ValueError path.
+
+    The workload and technology tables raise KeyError (their documented
+    contract); at the CLI boundary a bad benchmark name or node is user
+    input and must exit 2 with a message, not a traceback.
+    """
+    try:
+        for name in benchmarks or ():
+            get_benchmark(name)
+        if feature_size is not None:
+            get_technology(feature_size)
+    except KeyError as error:
+        raise ValueError(error.args[0]) from None
+
+
+def _parse_benchmarks(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    return names or None
+
+
+def _make_engine(args: argparse.Namespace) -> SimEngine:
+    return SimEngine(
+        workers=getattr(args, "workers", 1),
+        store=getattr(args, "store", None),
+    )
+
+
+def _make_config(args: argparse.Namespace, benchmark: Optional[str] = None) -> SimulationConfig:
+    return SimulationConfig(
+        benchmark=benchmark or args.benchmark,
+        dcache=PolicySpec.parse(args.dcache),
+        icache=PolicySpec.parse(args.icache),
+        feature_size_nm=args.feature_size,
+        subarray_bytes=args.subarray_bytes,
+        n_instructions=args.instructions,
+        seed=args.seed,
+    )
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for parallel execution (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist results in DIR and reuse them on later invocations",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON on stdout"
+    )
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dcache",
+        default="static",
+        metavar="SPEC",
+        help='L1D policy spec, e.g. "gated-predecode:threshold=150" (default: static)',
+    )
+    parser.add_argument(
+        "--icache",
+        default="static",
+        metavar="SPEC",
+        help='L1I policy spec, e.g. "gated:threshold=100" (default: static)',
+    )
+    parser.add_argument("--feature-size", type=int, default=70, metavar="NM",
+                        help="technology node in nm (default: 70)")
+    parser.add_argument("--subarray-bytes", type=int, default=1024,
+                        help="precharge-control granularity (default: 1024)")
+    parser.add_argument("--instructions", type=int, default=20_000,
+                        help="micro-ops to simulate per run (default: 20000)")
+    parser.add_argument("--seed", type=int, default=1, help="workload seed (default: 1)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction driver for Yang & Falsafi, 'Near-Optimal Precharging "
+            "in High-Performance Nanoscale CMOS Caches' (MICRO-36, 2003)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="simulate one configuration")
+    run.add_argument("--benchmark", default="gcc", help="benchmark name (default: gcc)")
+    _add_config_arguments(run)
+    _add_engine_arguments(run)
+
+    sweep = subparsers.add_parser("sweep", help="run one configuration across benchmarks")
+    sweep.add_argument(
+        "--benchmarks",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated benchmark names (default: all sixteen)",
+    )
+    _add_config_arguments(sweep)
+    _add_engine_arguments(sweep)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help=f"one of: {', '.join(experiment_names())}",
+    )
+    experiment.add_argument(
+        "--list", action="store_true", help="list registered experiments and exit"
+    )
+    experiment.add_argument(
+        "--benchmarks",
+        default=None,
+        metavar="A,B,...",
+        help="benchmark subset (default: experiment-specific, usually all)",
+    )
+    experiment.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="micro-ops per run (default: experiment-specific)",
+    )
+    experiment.add_argument(
+        "--feature-size", type=int, default=None, metavar="NM",
+        help="technology node in nm (default: experiment-specific, usually 70)",
+    )
+    _add_engine_arguments(experiment)
+
+    policies = subparsers.add_parser("policies", help="list registered precharge policies")
+    policies.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON on stdout"
+    )
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    _validate_user_input([args.benchmark], args.feature_size)
+    engine = _make_engine(args)
+    result = engine.run(_make_config(args))
+    if args.json:
+        print(json.dumps(result.to_dict()))
+    else:
+        print(result.summary())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    _validate_user_input(benchmarks, args.feature_size)
+    engine = _make_engine(args)
+    results = engine.sweep(
+        _make_config(args, benchmark="gcc"),
+        benchmarks=benchmarks,
+        workers=args.workers,
+    )
+    if args.json:
+        print(json.dumps({name: run.to_dict() for name, run in results.items()}))
+    else:
+        for run in results.values():
+            print(run.summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.list or args.name is None:
+        if args.json:
+            print(json.dumps(list(experiment_names())))
+        else:
+            for name in experiment_names():
+                print(f"{name:12s} {get_experiment(name).title}")
+        return 0
+    experiment = get_experiment(args.name)
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    _validate_user_input(benchmarks, args.feature_size)
+    engine = _make_engine(args)
+    options = ExperimentOptions(
+        benchmarks=tuple(benchmarks) if benchmarks else None,
+        n_instructions=args.instructions,
+        feature_size_nm=args.feature_size,
+    )
+    if (args.workers != 1 or args.store) and not experiment.uses_engine:
+        print(
+            f"repro: note: experiment {experiment.name!r} does not run through "
+            "the engine; --workers/--store have no effect",
+            file=sys.stderr,
+        )
+    supplied = {
+        "benchmarks": options.benchmarks is not None,
+        "n_instructions": options.n_instructions is not None,
+        "feature_size_nm": options.feature_size_nm is not None,
+    }
+    flag_names = {
+        "benchmarks": "--benchmarks",
+        "n_instructions": "--instructions",
+        "feature_size_nm": "--feature-size",
+    }
+    ignored = [
+        flag_names[field]
+        for field, given in supplied.items()
+        if given and field not in experiment.consumes
+    ]
+    if ignored:
+        print(
+            f"repro: note: experiment {experiment.name!r} ignores "
+            + "/".join(ignored),
+            file=sys.stderr,
+        )
+    result = experiment.run(engine, options)
+    if args.json:
+        payload = {
+            "experiment": experiment.name,
+            "title": experiment.title,
+            "options": _jsonify(options),
+            "uses_engine": experiment.uses_engine,
+            "result": _jsonify(result),
+            "runs": [run.to_dict() for run in engine.cached_results()],
+        }
+        print(json.dumps(payload))
+    else:
+        print(experiment.format(result))
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    if args.json:
+        payload = {}
+        for name in policy_names():
+            info = get_policy_info(name)
+            payload[name] = {
+                "defaults": _jsonify(dict(info.defaults)),
+                "aliases": list(info.aliases),
+                "scheduler_extra_latency": info.scheduler_extra_latency,
+                "description": info.description,
+            }
+        print(json.dumps(payload))
+    else:
+        for name in policy_names():
+            info = get_policy_info(name)
+            params = ", ".join(f"{k}={v!r}" for k, v in info.defaults.items()) or "-"
+            print(f"{name:16s} {info.description}")
+            print(f"{'':16s}   params: {params}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "experiment": _cmd_experiment,
+    "policies": _cmd_policies,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` (returns an exit status)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into head); not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+    except ValueError as error:
+        # Registry/config lookups raise ValueError for bad user input;
+        # anything else (including KeyError) is a bug and should traceback.
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2

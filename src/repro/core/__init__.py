@@ -10,6 +10,11 @@
   precharging with decay counters and optional predecoding;
 * :class:`~repro.core.resizable.ResizableCachePolicy` — the prior-work
   resizable-cache baseline compared against in Figure 9;
+* :mod:`~repro.core.registry` — the pluggable policy registry:
+  :func:`~repro.core.registry.register_policy` publishes a factory under
+  a short name and :class:`~repro.core.registry.PolicySpec` describes one
+  policy instance declaratively (this is how the driver layer stays
+  closed while the policy menu stays open);
 * :mod:`~repro.core.threshold` — per-benchmark optimum / constant
   threshold selection;
 * :mod:`~repro.core.decay_counter` — the Figure 7 hardware structure;
@@ -18,6 +23,15 @@
 
 from .decay_counter import DEFAULT_COUNTER_BITS, DecayCounter, counter_energy_fraction
 from .gated import DEFAULT_THRESHOLD, GatedPrechargePolicy
+from .registry import (
+    PolicyInfo,
+    PolicySpec,
+    create_policy,
+    get_policy_info,
+    policy_names,
+    register_policy,
+    unregister_policy,
+)
 from .on_demand import OnDemandPrechargePolicy
 from .oracle import OraclePrechargePolicy
 from .policies import BasePrechargePolicy, PolicyStats
@@ -42,6 +56,13 @@ __all__ = [
     "OraclePrechargePolicy",
     "BasePrechargePolicy",
     "PolicyStats",
+    "PolicyInfo",
+    "PolicySpec",
+    "create_policy",
+    "get_policy_info",
+    "policy_names",
+    "register_policy",
+    "unregister_policy",
     "Predecoder",
     "PredecodeStats",
     "ResizableCachePolicy",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .policies import BasePrechargePolicy
+from .registry import register_policy
 from .predecode import Predecoder
 
 __all__ = ["GatedPrechargePolicy", "DEFAULT_THRESHOLD"]
@@ -113,3 +114,33 @@ class GatedPrechargePolicy(BasePrechargePolicy):
         if self.stats.accesses == 0:
             return 0.0
         return self.stats.delayed_accesses / self.stats.accesses
+
+
+@register_policy(
+    "gated",
+    aliases=("gated_precharge",),
+    description="Gated precharging with decay counters (Section 6)",
+)
+def _make_gated(
+    threshold: int = DEFAULT_THRESHOLD, predecode_lead_cycles: int = 2
+) -> GatedPrechargePolicy:
+    return GatedPrechargePolicy(
+        threshold=threshold,
+        use_predecode=False,
+        predecode_lead_cycles=predecode_lead_cycles,
+    )
+
+
+@register_policy(
+    "gated-predecode",
+    aliases=("gated_predecode",),
+    description="Gated precharging with base-register predecoding (Section 6.3)",
+)
+def _make_gated_predecode(
+    threshold: int = DEFAULT_THRESHOLD, predecode_lead_cycles: int = 2
+) -> GatedPrechargePolicy:
+    return GatedPrechargePolicy(
+        threshold=threshold,
+        use_predecode=True,
+        predecode_lead_cycles=predecode_lead_cycles,
+    )

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .policies import BasePrechargePolicy
+from .registry import register_policy
 
 __all__ = ["OnDemandPrechargePolicy"]
 
@@ -54,3 +55,13 @@ class OnDemandPrechargePolicy(BasePrechargePolicy):
         if last is None:
             return False
         return (cycle - last) < self.hold_cycles
+
+
+@register_policy(
+    "on-demand",
+    aliases=("ondemand", "on_demand"),
+    scheduler_extra_latency=1,
+    description="Partial-address-decode precharging; +1 cycle on every access (Section 5)",
+)
+def _make_on_demand(hold_cycles: int = 1) -> OnDemandPrechargePolicy:
+    return OnDemandPrechargePolicy(hold_cycles=hold_cycles)

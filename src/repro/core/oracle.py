@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .policies import BasePrechargePolicy
+from .registry import register_policy
 
 __all__ = ["OraclePrechargePolicy"]
 
@@ -58,3 +59,8 @@ class OraclePrechargePolicy(BasePrechargePolicy):
         if last is None:
             return cycle < self.hold_cycles
         return (cycle - last) < self.hold_cycles
+
+
+@register_policy("oracle", description="Perfect zero-delay subarray identification (Section 4)")
+def _make_oracle(hold_cycles: int = 1) -> OraclePrechargePolicy:
+    return OraclePrechargePolicy(hold_cycles=hold_cycles)

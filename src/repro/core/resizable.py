@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .policies import BasePrechargePolicy
+from .registry import register_policy
 
 __all__ = ["ResizableCachePolicy"]
 
@@ -190,3 +191,19 @@ class ResizableCachePolicy(BasePrechargePolicy):
     def active_subarrays(self) -> int:
         """Number of subarrays currently powered and indexable."""
         return self._active_subarrays
+
+
+@register_policy(
+    "resizable",
+    description="Interval-based resizable-cache baseline (Figure 9)",
+)
+def _make_resizable(
+    interval_accesses: int = 50_000,
+    miss_ratio_slack: float = 0.02,
+    min_active_fraction: float = 0.125,
+) -> ResizableCachePolicy:
+    return ResizableCachePolicy(
+        interval_accesses=interval_accesses,
+        miss_ratio_slack=miss_ratio_slack,
+        min_active_fraction=min_active_fraction,
+    )

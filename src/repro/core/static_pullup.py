@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .policies import BasePrechargePolicy
+from .registry import register_policy
 
 __all__ = ["StaticPullUpPolicy"]
 
@@ -42,3 +43,8 @@ class StaticPullUpPolicy(BasePrechargePolicy):
 
     def _is_precharged(self, subarray: int, cycle: int) -> bool:
         return True
+
+
+@register_policy("static", description="Conventional blind static pull-up baseline")
+def _make_static() -> StaticPullUpPolicy:
+    return StaticPullUpPolicy()

@@ -16,7 +16,7 @@ they take — which is exactly what the paper's slowdown numbers require.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterator, Optional
 
 from repro.cache.hierarchy import MemoryHierarchy
@@ -69,6 +69,15 @@ class PipelineConfig:
     max_registers: int = 64
     speculative_extra_latency: int = 0
     max_cycles_per_instruction: int = 200
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (round-trips via :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        return cls(**data)
 
 
 class OutOfOrderPipeline:

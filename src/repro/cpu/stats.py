@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping
 
 __all__ = ["PipelineStats"]
 
@@ -62,3 +63,12 @@ class PipelineStats:
             f"(IPC {self.ipc:.2f}), {self.branch_mispredictions} branch mispredicts, "
             f"{self.load_replays} load replays"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (round-trips via :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineStats":
+        """Rebuild the counters from :meth:`to_dict` output."""
+        return cls(**data)

@@ -83,6 +83,26 @@ class CacheEnergyReport:
             "icache_overall_savings": self.icache_overall_savings,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "dcache": self.dcache.to_dict(),
+            "icache": self.icache.to_dict(),
+            "processor": None if self.processor is None else self.processor.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CacheEnergyReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        processor = data.get("processor")
+        return cls(
+            dcache=EnergyBreakdown.from_dict(data["dcache"]),
+            icache=EnergyBreakdown.from_dict(data["icache"]),
+            processor=None
+            if processor is None
+            else ProcessorEnergyBreakdown.from_dict(processor),
+        )
+
 
 def combine_run_energy(
     breakdowns: Dict[str, EnergyBreakdown],

@@ -58,6 +58,15 @@ class ProcessorEnergyBreakdown:
             return 0.0
         return self.by_structure.get(structure, 0.0) / total
 
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe representation (round-trips via :meth:`from_dict`)."""
+        return dict(self.by_structure)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "ProcessorEnergyBreakdown":
+        """Rebuild a breakdown from :meth:`to_dict` output."""
+        return cls(by_structure=dict(data))
+
 
 class WattchEnergyModel:
     """Activity-based energy model for the non-cache parts of the core."""

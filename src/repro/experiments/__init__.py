@@ -14,6 +14,11 @@
 | :mod:`~repro.experiments.figure8` | Figure 8 — gated precharging results |
 | :mod:`~repro.experiments.figure9` | Figure 9 — gated precharging vs resizable caches |
 | :mod:`~repro.experiments.figure10` | Figure 10 — effect of subarray size |
+
+Every module registers its artefact with
+:mod:`~repro.experiments.registry` under a common
+``run(engine, options) -> result`` / ``format(result) -> str`` protocol,
+which backs the ``python -m repro experiment <name>`` CLI.
 """
 
 from .figure2 import Figure2Result, figure2, format_figure2
@@ -28,6 +33,13 @@ from .predecode_accuracy import (
     PredecodeAccuracyResult,
     format_predecode_accuracy,
     predecode_accuracy,
+)
+from .registry import (
+    Experiment,
+    ExperimentOptions,
+    experiment_names,
+    get_experiment,
+    register_experiment,
 )
 from .report import format_percent, format_series, format_table
 from .table1 import Table1Row, format_table1, table1_rows
@@ -44,6 +56,8 @@ __all__ = [
     "SUBARRAY_SIZES", "Figure10Result", "figure10", "format_figure10",
     "OnDemandResult", "format_ondemand", "ondemand_slowdown",
     "PredecodeAccuracyResult", "format_predecode_accuracy", "predecode_accuracy",
+    "Experiment", "ExperimentOptions", "experiment_names",
+    "get_experiment", "register_experiment",
     "format_percent", "format_series", "format_table",
     "Table1Row", "format_table1", "table1_rows",
     "format_table2", "table2_rows",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import arithmetic_mean
 from repro.sim.sweep import sweep_benchmarks
@@ -61,6 +62,7 @@ def figure10(
     feature_size_nm: int = 70,
     n_instructions: int = 15_000,
     threshold: int = 100,
+    engine: Optional["SimEngine"] = None,
 ) -> Figure10Result:
     """Regenerate Figure 10 (gated precharging vs subarray size)."""
     dcache_avg: Dict[int, float] = {}
@@ -69,15 +71,13 @@ def figure10(
     per_bench_i: Dict[str, Dict[int, float]] = {}
     for size in subarray_sizes:
         config = SimulationConfig(
-            dcache_policy="gated-predecode",
-            icache_policy="gated",
+            dcache=PolicySpec("gated-predecode", {"threshold": threshold}),
+            icache=PolicySpec("gated", {"threshold": threshold}),
             feature_size_nm=feature_size_nm,
             subarray_bytes=size,
-            dcache_threshold=threshold,
-            icache_threshold=threshold,
             n_instructions=n_instructions,
         )
-        runs = sweep_benchmarks(config, benchmarks)
+        runs = sweep_benchmarks(config, benchmarks, engine=engine)
         dcache_avg[size] = arithmetic_mean(
             r.energy.dcache.precharged_fraction for r in runs.values()
         )
@@ -113,4 +113,21 @@ def format_figure10(result: Figure10Result) -> str:
         headers=["Subarray size", "Data cache precharged", "Instr cache precharged"],
         rows=rows,
         title="Figure 10: Relative number of precharged subarrays vs subarray size",
+    )
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "figure10",
+    title="Figure 10 - effect of subarray size",
+    formatter=format_figure10,
+)
+def _figure10_experiment(engine, options: ExperimentOptions):
+    return figure10(
+        benchmarks=options.benchmarks,
+        feature_size_nm=options.resolved_feature_size(),
+        n_instructions=options.resolved_instructions(15_000),
+        engine=engine,
     )

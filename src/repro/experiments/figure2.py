@@ -91,3 +91,17 @@ def format_figure2(result: Figure2Result) -> str:
         for nm in sorted(result.transients, reverse=True)
     ]
     return table + "\n" + "\n".join(series_lines)
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "figure2",
+    title="Figure 2 - post-isolation bitline power transient",
+    formatter=format_figure2,
+    uses_engine=False,
+    consumes=(),
+)
+def _figure2_experiment(engine, options: ExperimentOptions):
+    return figure2()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import arithmetic_mean
 from repro.sim.sweep import sweep_benchmarks
@@ -65,15 +66,16 @@ def figure3(
     benchmarks: Optional[Sequence[str]] = None,
     feature_size_nm: int = 70,
     n_instructions: int = 20_000,
+    engine: Optional["SimEngine"] = None,
 ) -> Figure3Result:
     """Regenerate Figure 3 (oracle potential savings)."""
     base = SimulationConfig(
-        dcache_policy="oracle",
-        icache_policy="oracle",
+        dcache=PolicySpec("oracle"),
+        icache=PolicySpec("oracle"),
         feature_size_nm=feature_size_nm,
         n_instructions=n_instructions,
     )
-    results = sweep_benchmarks(base, benchmarks)
+    results = sweep_benchmarks(base, benchmarks, engine=engine)
     return Figure3Result(
         relative_discharge_dcache={
             name: r.energy.dcache_relative_discharge for name, r in results.items()
@@ -121,3 +123,20 @@ def format_figure3(result: Figure3Result) -> str:
         f"instruction {format_percent(result.average_overall_savings_icache)}"
     )
     return table + "\n" + summary
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "figure3",
+    title="Figure 3 - oracle potential discharge savings",
+    formatter=format_figure3,
+)
+def _figure3_experiment(engine, options: ExperimentOptions):
+    return figure3(
+        benchmarks=options.benchmarks,
+        feature_size_nm=options.resolved_feature_size(),
+        n_instructions=options.resolved_instructions(20_000),
+        engine=engine,
+    )

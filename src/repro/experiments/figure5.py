@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.subarray import SubarrayTracker
+from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import RunResult
 from repro.sim.sweep import sweep_benchmarks
@@ -77,15 +78,16 @@ def figure5(
     feature_size_nm: int = 70,
     n_instructions: int = 20_000,
     thresholds: Sequence[int] = ACCESS_FREQUENCY_THRESHOLDS,
+    engine: Optional["SimEngine"] = None,
 ) -> Figure5Result:
     """Regenerate Figure 5 from baseline (static pull-up) runs."""
     base = SimulationConfig(
-        dcache_policy="static",
-        icache_policy="static",
+        dcache=PolicySpec("static"),
+        icache=PolicySpec("static"),
         feature_size_nm=feature_size_nm,
         n_instructions=n_instructions,
     )
-    runs = sweep_benchmarks(base, benchmarks)
+    runs = sweep_benchmarks(base, benchmarks, engine=engine)
     dcache = {
         name: _cumulative_from_gaps(run.dcache_gaps, thresholds)
         for name, run in runs.items()
@@ -108,3 +110,20 @@ def format_figure5(result: Figure5Result) -> str:
     for name, series in result.icache.items():
         lines.append(format_series(f"  {name}", sorted(series.items())))
     return "\n".join(lines)
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "figure5",
+    title="Figure 5 - cumulative accesses vs access frequency",
+    formatter=format_figure5,
+)
+def _figure5_experiment(engine, options: ExperimentOptions):
+    return figure5(
+        benchmarks=options.benchmarks,
+        feature_size_nm=options.resolved_feature_size(),
+        n_instructions=options.resolved_instructions(20_000),
+        engine=engine,
+    )

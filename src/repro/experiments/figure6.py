@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import arithmetic_mean
 from repro.workloads.characteristics import benchmark_names
@@ -64,8 +65,8 @@ def figure6(
     for name in names:
         config = SimulationConfig(
             benchmark=name,
-            dcache_policy="static",
-            icache_policy="static",
+            dcache=PolicySpec("static"),
+            icache=PolicySpec("static"),
             feature_size_nm=feature_size_nm,
             n_instructions=n_instructions,
         )
@@ -106,3 +107,22 @@ def format_figure6(result: Figure6Result) -> str:
         f"instruction {result.average_hot_fraction('icache', 100):.2f}"
     )
     return "\n".join(lines)
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "figure6",
+    title="Figure 6 - fraction of hot subarrays",
+    formatter=format_figure6,
+    uses_engine=False,
+)
+def _figure6_experiment(engine, options: ExperimentOptions):
+    # figure6 needs the subarray trackers themselves, so it drives the
+    # simulator directly rather than going through the engine cache.
+    return figure6(
+        benchmarks=options.benchmarks,
+        feature_size_nm=options.resolved_feature_size(),
+        n_instructions=options.resolved_instructions(20_000),
+    )

@@ -19,9 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
-from repro.sim.metrics import arithmetic_mean, slowdown
-from repro.sim.runner import run_simulation
+from repro.sim.engine import SimEngine, default_engine
+from repro.sim.metrics import RunResult, arithmetic_mean, slowdown
 from repro.sim.sweep import select_benchmark_thresholds
 from repro.workloads.characteristics import benchmark_names
 
@@ -113,31 +114,29 @@ class Figure8Result:
         return self._average(self.optimum, "icache_overall_savings")
 
 
-def _run_gated(
+def _gated_config(
     benchmark: str,
     dcache_threshold: int,
     icache_threshold: int,
     feature_size_nm: int,
     n_instructions: int,
+) -> SimulationConfig:
+    return SimulationConfig(
+        benchmark=benchmark,
+        dcache=PolicySpec("gated-predecode", {"threshold": dcache_threshold}),
+        icache=PolicySpec("gated", {"threshold": icache_threshold}),
+        feature_size_nm=feature_size_nm,
+        n_instructions=n_instructions,
+    )
+
+
+def _gated_row(
+    benchmark: str,
+    dcache_threshold: int,
+    icache_threshold: int,
+    gated: "RunResult",
+    baseline: "RunResult",
 ) -> Figure8Benchmark:
-    baseline_cfg = SimulationConfig(
-        benchmark=benchmark,
-        dcache_policy="static",
-        icache_policy="static",
-        feature_size_nm=feature_size_nm,
-        n_instructions=n_instructions,
-    )
-    gated_cfg = SimulationConfig(
-        benchmark=benchmark,
-        dcache_policy="gated-predecode",
-        icache_policy="gated",
-        feature_size_nm=feature_size_nm,
-        dcache_threshold=dcache_threshold,
-        icache_threshold=icache_threshold,
-        n_instructions=n_instructions,
-    )
-    baseline = run_simulation(baseline_cfg)
-    gated = run_simulation(gated_cfg)
     return Figure8Benchmark(
         benchmark=benchmark,
         dcache_threshold=dcache_threshold,
@@ -157,25 +156,66 @@ def figure8(
     feature_size_nm: int = 70,
     n_instructions: int = 20_000,
     constant_threshold: int = 100,
+    engine: Optional[SimEngine] = None,
 ) -> Figure8Result:
-    """Regenerate Figure 8 (gated precharging, optimum and constant thresholds)."""
+    """Regenerate Figure 8 (gated precharging, optimum and constant thresholds).
+
+    Runs in three batched phases so the engine can fan each out over its
+    workers: the static profiling/baseline runs, then every gated run
+    (optimum and constant thresholds), then row assembly from the cached
+    results.
+    """
+    engine = default_engine() if engine is None else engine
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     base = SimulationConfig(
         feature_size_nm=feature_size_nm, n_instructions=n_instructions
     )
-    optimum: Dict[str, Figure8Benchmark] = {}
-    constant: Dict[str, Figure8Benchmark] = {}
-    for name in names:
-        thresholds = select_benchmark_thresholds(name, base)
-        optimum[name] = _run_gated(
+
+    # Phase 1: one static run per benchmark — the threshold-selection
+    # profile and the slowdown baseline are the same configuration.
+    baselines = engine.sweep(base, benchmarks=names)
+    thresholds = {
+        name: select_benchmark_thresholds(name, base, engine=engine)
+        for name in names
+    }
+
+    # Phase 2: every gated run (per-benchmark optimum + constant), batched.
+    optimum_cfgs = [
+        _gated_config(
             name,
-            thresholds.dcache_threshold,
-            thresholds.icache_threshold,
+            thresholds[name].dcache_threshold,
+            thresholds[name].icache_threshold,
             feature_size_nm,
             n_instructions,
         )
-        constant[name] = _run_gated(
+        for name in names
+    ]
+    constant_cfgs = [
+        _gated_config(
             name, constant_threshold, constant_threshold, feature_size_nm, n_instructions
+        )
+        for name in names
+    ]
+    gated_runs = engine.run_many(optimum_cfgs + constant_cfgs)
+    optimum_runs = gated_runs[: len(names)]
+    constant_runs = gated_runs[len(names):]
+
+    optimum: Dict[str, Figure8Benchmark] = {}
+    constant: Dict[str, Figure8Benchmark] = {}
+    for index, name in enumerate(names):
+        optimum[name] = _gated_row(
+            name,
+            thresholds[name].dcache_threshold,
+            thresholds[name].icache_threshold,
+            optimum_runs[index],
+            baselines[name],
+        )
+        constant[name] = _gated_row(
+            name,
+            constant_threshold,
+            constant_threshold,
+            constant_runs[index],
+            baselines[name],
         )
     return Figure8Result(
         optimum=optimum, constant=constant, feature_size_nm=feature_size_nm
@@ -238,3 +278,20 @@ def format_figure8(result: Figure8Result) -> str:
         f"instruction {format_percent(result.average_icache_overall_savings)}"
     )
     return table + "\n" + summary
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "figure8",
+    title="Figure 8 - gated precharging results",
+    formatter=format_figure8,
+)
+def _figure8_experiment(engine, options: ExperimentOptions):
+    return figure8(
+        benchmarks=options.benchmarks,
+        feature_size_nm=options.resolved_feature_size(),
+        n_instructions=options.resolved_instructions(20_000),
+        engine=engine,
+    )

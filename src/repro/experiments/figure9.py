@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.circuits.technology import available_nodes
+from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import arithmetic_mean
 from repro.sim.sweep import sweep_benchmarks
@@ -59,6 +60,7 @@ def figure9(
     nodes: Optional[Sequence[int]] = None,
     n_instructions: int = 15_000,
     threshold: int = 100,
+    engine: Optional["SimEngine"] = None,
 ) -> Figure9Result:
     """Regenerate Figure 9 (gated precharging vs resizable caches)."""
     nodes = list(nodes) if nodes is not None else available_nodes()
@@ -68,21 +70,19 @@ def figure9(
     resize_i: Dict[int, float] = {}
     for nm in nodes:
         gated_cfg = SimulationConfig(
-            dcache_policy="gated-predecode",
-            icache_policy="gated",
+            dcache=PolicySpec("gated-predecode", {"threshold": threshold}),
+            icache=PolicySpec("gated", {"threshold": threshold}),
             feature_size_nm=nm,
-            dcache_threshold=threshold,
-            icache_threshold=threshold,
             n_instructions=n_instructions,
         )
         resizable_cfg = SimulationConfig(
-            dcache_policy="resizable",
-            icache_policy="resizable",
+            dcache=PolicySpec("resizable"),
+            icache=PolicySpec("resizable"),
             feature_size_nm=nm,
             n_instructions=n_instructions,
         )
-        gated_runs = sweep_benchmarks(gated_cfg, benchmarks)
-        resizable_runs = sweep_benchmarks(resizable_cfg, benchmarks)
+        gated_runs = sweep_benchmarks(gated_cfg, benchmarks, engine=engine)
+        resizable_runs = sweep_benchmarks(resizable_cfg, benchmarks, engine=engine)
         gated_d[nm] = arithmetic_mean(
             r.energy.dcache_relative_discharge for r in gated_runs.values()
         )
@@ -126,4 +126,22 @@ def format_figure9(result: Figure9Result) -> str:
         ],
         rows=rows,
         title="Figure 9: Bitline discharge — gated precharging vs resizable caches",
+    )
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "figure9",
+    title="Figure 9 - gated precharging vs resizable caches",
+    formatter=format_figure9,
+)
+def _figure9_experiment(engine, options: ExperimentOptions):
+    nodes = None if options.feature_size_nm is None else [options.feature_size_nm]
+    return figure9(
+        benchmarks=options.benchmarks,
+        nodes=nodes,
+        n_instructions=options.resolved_instructions(15_000),
+        engine=engine,
     )

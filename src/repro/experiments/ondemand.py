@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import arithmetic_mean, slowdown
 from repro.sim.sweep import sweep_benchmarks
@@ -51,20 +52,21 @@ def ondemand_slowdown(
     benchmarks: Optional[Sequence[str]] = None,
     feature_size_nm: int = 70,
     n_instructions: int = 20_000,
+    engine: Optional["SimEngine"] = None,
 ) -> OnDemandResult:
     """Measure the Section 5 on-demand precharging slowdowns."""
     baseline_cfg = SimulationConfig(
-        dcache_policy="static",
-        icache_policy="static",
+        dcache=PolicySpec("static"),
+        icache=PolicySpec("static"),
         feature_size_nm=feature_size_nm,
         n_instructions=n_instructions,
     )
     dcache_cfg = baseline_cfg.with_policies("on-demand", "static")
     icache_cfg = baseline_cfg.with_policies("static", "on-demand")
 
-    baselines = sweep_benchmarks(baseline_cfg, benchmarks)
-    dcache_runs = sweep_benchmarks(dcache_cfg, benchmarks)
-    icache_runs = sweep_benchmarks(icache_cfg, benchmarks)
+    baselines = sweep_benchmarks(baseline_cfg, benchmarks, engine=engine)
+    dcache_runs = sweep_benchmarks(dcache_cfg, benchmarks, engine=engine)
+    icache_runs = sweep_benchmarks(icache_cfg, benchmarks, engine=engine)
 
     return OnDemandResult(
         dcache_slowdown={
@@ -97,4 +99,21 @@ def format_ondemand(result: OnDemandResult) -> str:
         headers=["Benchmark", "Data-cache slowdown", "Instr-cache slowdown"],
         rows=rows,
         title="Section 5: Performance impact of on-demand precharging",
+    )
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "ondemand",
+    title="Section 5 - on-demand precharging slowdown",
+    formatter=format_ondemand,
+)
+def _ondemand_experiment(engine, options: ExperimentOptions):
+    return ondemand_slowdown(
+        benchmarks=options.benchmarks,
+        feature_size_nm=options.resolved_feature_size(),
+        n_instructions=options.resolved_instructions(20_000),
+        engine=engine,
     )

@@ -94,3 +94,20 @@ def format_predecode_accuracy(result: PredecodeAccuracyResult) -> str:
         rows=rows,
         title="Section 6.3: Predecoding subarray-prediction accuracy",
     )
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "predecode",
+    title="Section 6.3 - predecoding accuracy",
+    formatter=format_predecode_accuracy,
+    uses_engine=False,
+)
+def _predecode_experiment(engine, options: ExperimentOptions):
+    return predecode_accuracy(
+        benchmarks=options.benchmarks,
+        feature_size_nm=options.resolved_feature_size(),
+        n_instructions=options.resolved_instructions(20_000),
+    )

@@ -1,0 +1,120 @@
+"""Experiment registry: every table/figure behind one protocol.
+
+Each experiment module registers a runner under the name of the paper
+artefact it reproduces (``table1`` ... ``figure10``).  A registered
+experiment is a pair of callables:
+
+* ``run(engine, options) -> result`` — regenerate the artefact, driving
+  every simulation through the supplied
+  :class:`~repro.sim.engine.SimEngine` (so caching, persistence and
+  parallelism are the caller's choice);
+* ``format(result) -> str`` — render the artefact as the text table the
+  module has always produced.
+
+The registry backs the ``python -m repro experiment <name>`` CLI and lets
+sweep drivers iterate "every artefact of the paper" without hard-coding
+the module list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.sim.engine import SimEngine
+
+__all__ = [
+    "ExperimentOptions",
+    "Experiment",
+    "register_experiment",
+    "get_experiment",
+    "experiment_names",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """Common knobs every experiment runner understands.
+
+    Attributes:
+        benchmarks: Benchmark subset, or ``None`` for each experiment's
+            default (usually all sixteen).
+        n_instructions: Per-run instruction budget, or ``None`` for the
+            experiment's default.
+        feature_size_nm: Technology node, or ``None`` for the
+            experiment's default (single-node experiments use 70; the
+            cross-node figure9 sweeps every node unless one is forced).
+    """
+
+    benchmarks: Optional[Tuple[str, ...]] = None
+    n_instructions: Optional[int] = None
+    feature_size_nm: Optional[int] = None
+
+    def resolved_instructions(self, default: int) -> int:
+        """The instruction budget, falling back to ``default``."""
+        return self.n_instructions if self.n_instructions is not None else default
+
+    def resolved_feature_size(self, default: int = 70) -> int:
+        """The technology node, falling back to ``default``."""
+        return self.feature_size_nm if self.feature_size_nm is not None else default
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered paper artefact."""
+
+    name: str
+    title: str
+    run: Callable[[SimEngine, ExperimentOptions], Any]
+    format: Callable[[Any], str]
+    #: Whether ``run`` drives its simulations through the supplied engine
+    #: (False for static tables and experiments that bypass the engine, so
+    #: callers know --workers/--store have no effect and no runs accrue).
+    uses_engine: bool = True
+    #: Which :class:`ExperimentOptions` fields the runner honours; the CLI
+    #: warns when an option outside this set is supplied.
+    consumes: Tuple[str, ...] = ("benchmarks", "n_instructions", "feature_size_nm")
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register_experiment(
+    name: str,
+    title: str,
+    formatter: Callable[[Any], str],
+    uses_engine: bool = True,
+    consumes: Tuple[str, ...] = ("benchmarks", "n_instructions", "feature_size_nm"),
+) -> Callable[[Callable[[SimEngine, ExperimentOptions], Any]], Callable]:
+    """Publish ``run(engine, options)`` for one table/figure."""
+
+    def decorator(run: Callable[[SimEngine, ExperimentOptions], Any]) -> Callable:
+        _REGISTRY[name.lower()] = Experiment(
+            name=name.lower(),
+            title=title,
+            run=run,
+            format=formatter,
+            uses_engine=uses_engine,
+            consumes=consumes,
+        )
+        return run
+
+    return decorator
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up a registered experiment.
+
+    Raises:
+        ValueError: for an unknown experiment name.
+    """
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ValueError(f"unknown experiment {name!r}; choose from: {known}") from None
+
+
+def experiment_names() -> Tuple[str, ...]:
+    """Names of every registered experiment, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -46,3 +46,17 @@ def format_table1() -> str:
         ],
         title="Table 1: Circuit parameters",
     )
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "table1",
+    title="Table 1 - circuit parameters per technology node",
+    formatter=lambda rows: format_table1(),
+    uses_engine=False,
+    consumes=(),
+)
+def _table1_experiment(engine, options: ExperimentOptions):
+    return table1_rows()

@@ -58,3 +58,17 @@ def format_table2() -> str:
         rows=table2_rows(),
         title="Table 2: Base system configuration",
     )
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "table2",
+    title="Table 2 - base system configuration",
+    formatter=lambda rows: format_table2(),
+    uses_engine=False,
+    consumes=(),
+)
+def _table2_experiment(engine, options: ExperimentOptions):
+    return table2_rows()

@@ -90,3 +90,17 @@ def format_table3(rows: List[Table3Row] = None) -> str:
         ],
         title="Table 3: Decode and precharge delay",
     )
+
+
+from .registry import ExperimentOptions, register_experiment  # noqa: E402
+
+
+@register_experiment(
+    "table3",
+    title="Table 3 - decode vs precharge delays",
+    formatter=format_table3,
+    uses_engine=False,
+    consumes=(),
+)
+def _table3_experiment(engine, options: ExperimentOptions):
+    return table3_rows()

@@ -1,8 +1,28 @@
-"""Simulation driver: configuration, runner, metrics and sweeps."""
+"""Simulation driver: configuration, engine, metrics, sweeps and storage.
+
+The driver layer is organised around four pieces:
+
+* :class:`~repro.sim.config.SimulationConfig` — one run's description,
+  carrying declarative :class:`~repro.core.registry.PolicySpec` objects;
+* :class:`~repro.sim.engine.SimEngine` — bounded result caching, an
+  optional on-disk :class:`~repro.sim.store.ResultStore`, and parallel
+  ``run_many``/``sweep`` fan-out;
+* :class:`~repro.sim.metrics.RunResult` — fully JSON-serialisable run
+  outcome;
+* :mod:`~repro.sim.sweep` — benchmark sweeps and the Section 6.4
+  profiling-based threshold selection.
+
+:func:`run_simulation` remains as a shim over the process-wide default
+engine for quick interactive use.
+"""
+
+from repro.core.registry import PolicySpec
 
 from .config import DEFAULT_INSTRUCTIONS, POLICY_NAMES, SimulationConfig, make_policy
+from .engine import SimEngine, default_engine, execute_run
 from .metrics import RunResult, arithmetic_mean, geometric_mean, slowdown
 from .runner import clear_run_cache, run_simulation
+from .store import ResultStore
 from .sweep import (
     BenchmarkThresholds,
     DCACHE_REPLAY_FACTOR,
@@ -13,14 +33,19 @@ from .sweep import (
 __all__ = [
     "DEFAULT_INSTRUCTIONS",
     "POLICY_NAMES",
+    "PolicySpec",
     "SimulationConfig",
     "make_policy",
+    "SimEngine",
+    "default_engine",
+    "execute_run",
     "RunResult",
     "arithmetic_mean",
     "geometric_mean",
     "slowdown",
     "clear_run_cache",
     "run_simulation",
+    "ResultStore",
     "BenchmarkThresholds",
     "DCACHE_REPLAY_FACTOR",
     "select_benchmark_thresholds",

@@ -1,40 +1,43 @@
-"""Simulation configuration (Tables 1 and 2) and the policy factory.
+"""Simulation configuration (Tables 1 and 2).
 
 :class:`SimulationConfig` collects everything one run needs: the
 technology node (Table 1), the processor and memory-hierarchy sizing
 (Table 2), the benchmark, the precharge policies of the two L1 caches and
-the run length.  The policy factory builds the policy objects the paper
-evaluates from short names, so experiments and examples can say
-``policy="gated"`` instead of wiring classes by hand.
+the run length.  The precharge policies are carried as declarative
+:class:`~repro.core.registry.PolicySpec` objects resolved through the
+policy registry, so adding a policy never touches this module.
+
+Legacy string-based construction
+(``SimulationConfig(dcache_policy="gated", dcache_threshold=150)``) and
+the matching read-only attributes are kept as deprecation shims; new code
+should pass specs::
+
+    SimulationConfig(dcache=PolicySpec("gated", {"threshold": 150}))
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.cache.hierarchy import HierarchyConfig
-from repro.core import (
-    GatedPrechargePolicy,
-    OnDemandPrechargePolicy,
-    OraclePrechargePolicy,
-    ResizableCachePolicy,
-    StaticPullUpPolicy,
-)
+from repro.core.gated import DEFAULT_THRESHOLD
 from repro.core.policies import BasePrechargePolicy
+from repro.core.registry import PolicySpec, get_policy_info, policy_names
 from repro.cpu.pipeline import PipelineConfig
 
-__all__ = ["SimulationConfig", "make_policy", "POLICY_NAMES", "DEFAULT_INSTRUCTIONS"]
+__all__ = [
+    "SimulationConfig",
+    "make_policy",
+    "POLICY_NAMES",
+    "DEFAULT_INSTRUCTIONS",
+]
 
-#: Short names accepted by :func:`make_policy`.
-POLICY_NAMES = (
-    "static",
-    "oracle",
-    "on-demand",
-    "gated",
-    "gated-predecode",
-    "resizable",
-)
+#: Policy names registered by the core package at import time.  Kept for
+#: backwards compatibility; prefer :func:`repro.core.registry.policy_names`,
+#: which also reflects policies registered afterwards.
+POLICY_NAMES = policy_names()
 
 #: Default simulated instruction count for experiments.  The paper uses
 #: SimPoint regions of hundreds of millions of instructions; the synthetic
@@ -44,34 +47,72 @@ DEFAULT_INSTRUCTIONS = 30_000
 
 def make_policy(
     name: str,
-    threshold: int = 100,
+    threshold: int = DEFAULT_THRESHOLD,
     resizable_interval: int = 50_000,
 ) -> BasePrechargePolicy:
-    """Build a precharge policy from its short name.
+    """Build a precharge policy from its short name (deprecation shim).
+
+    Prefer ``PolicySpec(name, params).build()``, which passes arbitrary
+    parameters through to the registered factory.
 
     Args:
-        name: One of :data:`POLICY_NAMES`.
-        threshold: Decay threshold for the gated policies.
-        resizable_interval: Accesses per resizing interval for the
-            resizable-cache baseline.
+        name: A registered policy name or alias.
+        threshold: Decay threshold, applied when the policy accepts one.
+        resizable_interval: Accesses per resizing interval, applied when
+            the policy accepts one.
 
     Raises:
         ValueError: for an unknown policy name.
     """
-    lowered = name.lower()
-    if lowered == "static":
-        return StaticPullUpPolicy()
-    if lowered == "oracle":
-        return OraclePrechargePolicy()
-    if lowered in ("on-demand", "ondemand", "on_demand"):
-        return OnDemandPrechargePolicy()
-    if lowered == "gated":
-        return GatedPrechargePolicy(threshold=threshold)
-    if lowered in ("gated-predecode", "gated_predecode"):
-        return GatedPrechargePolicy(threshold=threshold, use_predecode=True)
-    if lowered == "resizable":
-        return ResizableCachePolicy(interval_accesses=resizable_interval)
-    raise ValueError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+    return _legacy_spec(name, threshold, resizable_interval).build()
+
+
+def _legacy_spec(
+    name: str,
+    threshold: Optional[int] = None,
+    resizable_interval: Optional[int] = None,
+    warn_dropped: bool = False,
+) -> PolicySpec:
+    """Translate legacy ``(name, threshold)`` arguments into a spec.
+
+    Only parameters the registered factory actually accepts are attached,
+    which mirrors the old factory's behaviour of ignoring the threshold
+    for threshold-less policies.  Unlike the old config, the spec carries
+    no independent threshold field, so an explicit threshold given with a
+    threshold-less policy no longer survives a later policy switch;
+    ``warn_dropped`` surfaces that case.
+    """
+    info = get_policy_info(name)
+    params: Dict[str, Any] = {}
+    if threshold is not None:
+        if "threshold" in info.defaults:
+            params["threshold"] = threshold
+        elif warn_dropped:
+            warnings.warn(
+                f"policy {info.name!r} takes no threshold; the explicit "
+                f"threshold {threshold} is discarded (pass a PolicySpec to "
+                "the policy that should receive it instead)",
+                FutureWarning,
+                stacklevel=3,
+            )
+    if resizable_interval is not None and "interval_accesses" in info.defaults:
+        params["interval_accesses"] = resizable_interval
+    return PolicySpec(info.name, params)
+
+
+def _coerce_spec(value: Union[PolicySpec, str, Mapping[str, Any]]) -> PolicySpec:
+    """Accept a spec, a bare policy name, or a ``to_dict`` mapping."""
+    if isinstance(value, PolicySpec):
+        return value
+    if isinstance(value, str):
+        return PolicySpec(value)
+    if isinstance(value, Mapping):
+        return PolicySpec.from_dict(value)
+    raise TypeError(f"cannot interpret {value!r} as a PolicySpec")
+
+
+def _default_static_spec() -> PolicySpec:
+    return PolicySpec("static")
 
 
 @dataclass(frozen=True)
@@ -80,29 +121,52 @@ class SimulationConfig:
 
     Attributes:
         benchmark: Name of one of the sixteen synthetic benchmarks.
-        dcache_policy: Precharge policy name for the L1 data cache.
-        icache_policy: Precharge policy name for the L1 instruction cache.
+        dcache: Precharge policy spec for the L1 data cache.
+        icache: Precharge policy spec for the L1 instruction cache.
         feature_size_nm: Technology node (Table 1).
         subarray_bytes: Precharge-control granularity (1KB base).
-        dcache_threshold: Gated-precharging threshold for the data cache.
-        icache_threshold: Gated-precharging threshold for the instruction
-            cache.
         n_instructions: Micro-ops to simulate.
         seed: Workload seed.
         pipeline: Microarchitecture parameters (Table 2 defaults).
     """
 
     benchmark: str = "gcc"
-    dcache_policy: str = "static"
-    icache_policy: str = "static"
+    dcache: PolicySpec = field(default_factory=_default_static_spec)
+    icache: PolicySpec = field(default_factory=_default_static_spec)
     feature_size_nm: int = 70
     subarray_bytes: int = 1024
-    dcache_threshold: int = 100
-    icache_threshold: int = 100
     n_instructions: int = DEFAULT_INSTRUCTIONS
     seed: int = 1
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dcache", _coerce_spec(self.dcache))
+        object.__setattr__(self, "icache", _coerce_spec(self.icache))
+
+    # ------------------------------------------------------------------
+    # Deprecated string accessors (kept for the pre-registry API)
+    # ------------------------------------------------------------------
+    @property
+    def dcache_policy(self) -> str:
+        """Deprecated: the data-cache policy name (use ``dcache.name``)."""
+        return self.dcache.name
+
+    @property
+    def icache_policy(self) -> str:
+        """Deprecated: the instruction-cache policy name (use ``icache.name``)."""
+        return self.icache.name
+
+    @property
+    def dcache_threshold(self) -> int:
+        """Deprecated: the data-cache decay threshold (use ``dcache.get``)."""
+        return self.dcache.get("threshold", DEFAULT_THRESHOLD)
+
+    @property
+    def icache_threshold(self) -> int:
+        """Deprecated: the instruction-cache decay threshold (use ``icache.get``)."""
+        return self.icache.get("threshold", DEFAULT_THRESHOLD)
+
+    # ------------------------------------------------------------------
     def hierarchy_config(self) -> HierarchyConfig:
         """The memory-hierarchy sizing for this run."""
         return HierarchyConfig(
@@ -112,24 +176,137 @@ class SimulationConfig:
 
     def dcache_controller(self) -> BasePrechargePolicy:
         """Instantiate the data-cache precharge policy."""
-        return make_policy(self.dcache_policy, threshold=self.dcache_threshold)
+        return self.dcache.build()
 
     def icache_controller(self) -> BasePrechargePolicy:
         """Instantiate the instruction-cache precharge policy."""
-        return make_policy(self.icache_policy, threshold=self.icache_threshold)
+        return self.icache.build()
 
     def pipeline_config(self) -> PipelineConfig:
-        """Pipeline configuration, with on-demand's known +1 cycle folded in.
+        """Pipeline configuration, with policy-declared latency folded in.
 
-        On-demand precharging delays *every* data-cache access by the
-        pull-up cycle, so the scheduler would be tuned for the longer
-        latency rather than treating each access as a misspeculation.
+        A policy that delays *every* data-cache access by a known number
+        of cycles (on-demand precharging declares
+        ``scheduler_extra_latency=1`` in the registry) has that latency
+        folded into the scheduler's expectations, so the deterministic
+        delay does not masquerade as misspeculation.
         """
-        extra = 1 if self.dcache_policy.startswith("on") else 0
+        extra = self.dcache.info().scheduler_extra_latency
         if extra and self.pipeline.speculative_extra_latency == 0:
             return replace(self.pipeline, speculative_extra_latency=extra)
         return self.pipeline
 
-    def with_policies(self, dcache: str, icache: str) -> "SimulationConfig":
-        """A copy of this configuration with different precharge policies."""
-        return replace(self, dcache_policy=dcache, icache_policy=icache)
+    def with_policies(
+        self,
+        dcache: Union[PolicySpec, str],
+        icache: Union[PolicySpec, str],
+    ) -> "SimulationConfig":
+        """A copy of this configuration with different precharge policies.
+
+        Bare names keep the current thresholds when the new policy accepts
+        one (matching the old string-field behaviour); specs are taken
+        verbatim.
+        """
+        if isinstance(dcache, str):
+            dcache = _legacy_spec(dcache, self.dcache.get("threshold"))
+        if isinstance(icache, str):
+            icache = _legacy_spec(icache, self.icache.get("threshold"))
+        return replace(self, dcache=dcache, icache=icache)
+
+    # ------------------------------------------------------------------
+    def cache_key(self) -> Tuple:
+        """Hashable memoisation key identifying this run exactly.
+
+        Derived from the canonical policy specs, so two configs that
+        build identical policies (e.g. with and without an explicit
+        default threshold) share a key, and newly registered policies
+        participate with no driver changes.
+        """
+        return (
+            self.benchmark,
+            self.dcache.cache_key(),
+            self.icache.cache_key(),
+            self.feature_size_nm,
+            self.subarray_bytes,
+            self.n_instructions,
+            self.seed,
+            self.pipeline,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "benchmark": self.benchmark,
+            "dcache": self.dcache.to_dict(),
+            "icache": self.icache.to_dict(),
+            "feature_size_nm": self.feature_size_nm,
+            "subarray_bytes": self.subarray_bytes,
+            "n_instructions": self.n_instructions,
+            "seed": self.seed,
+            "pipeline": self.pipeline.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        return cls(
+            benchmark=data["benchmark"],
+            dcache=PolicySpec.from_dict(data["dcache"]),
+            icache=PolicySpec.from_dict(data["icache"]),
+            feature_size_nm=data["feature_size_nm"],
+            subarray_bytes=data["subarray_bytes"],
+            n_instructions=data["n_instructions"],
+            seed=data["seed"],
+            pipeline=PipelineConfig.from_dict(data["pipeline"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Deprecated keyword shim: SimulationConfig(dcache_policy="gated",
+# dcache_threshold=150, ...) keeps working by translating the legacy
+# string/threshold keywords into PolicySpec fields before the generated
+# dataclass __init__ runs.
+# ----------------------------------------------------------------------
+_GENERATED_INIT = SimulationConfig.__init__
+
+
+def _compat_init(
+    self,
+    *args,
+    dcache_policy: Optional[str] = None,
+    icache_policy: Optional[str] = None,
+    dcache_threshold: Optional[int] = None,
+    icache_threshold: Optional[int] = None,
+    **kwargs,
+) -> None:
+    if len(args) > 1:
+        # The field order changed when the loose threshold fields became
+        # specs; silently reinterpreting old positional calls would run
+        # the wrong simulation, so require keywords beyond the benchmark.
+        raise TypeError(
+            "SimulationConfig takes at most one positional argument "
+            "(benchmark); pass the remaining fields by keyword"
+        )
+    if dcache_policy is not None or dcache_threshold is not None:
+        if "dcache" in kwargs:
+            raise TypeError(
+                "pass either dcache=PolicySpec(...) or the deprecated "
+                "dcache_policy/dcache_threshold keywords, not both"
+            )
+        kwargs["dcache"] = _legacy_spec(
+            dcache_policy or "static", dcache_threshold, warn_dropped=True
+        )
+    if icache_policy is not None or icache_threshold is not None:
+        if "icache" in kwargs:
+            raise TypeError(
+                "pass either icache=PolicySpec(...) or the deprecated "
+                "icache_policy/icache_threshold keywords, not both"
+            )
+        kwargs["icache"] = _legacy_spec(
+            icache_policy or "static", icache_threshold, warn_dropped=True
+        )
+    _GENERATED_INIT(self, *args, **kwargs)
+
+
+_compat_init.__wrapped__ = _GENERATED_INIT
+SimulationConfig.__init__ = _compat_init

@@ -1,0 +1,293 @@
+"""The simulation engine: bounded caching, persistence and parallel fan-out.
+
+:class:`SimEngine` owns everything the old module-global driver did, as
+an object:
+
+* a bounded, thread-safe, LRU result cache (the old process-global
+  ``_RUN_CACHE`` grew without limit and could not be scoped per test or
+  per experiment);
+* an optional on-disk :class:`~repro.sim.store.ResultStore`, consulted
+  before computing and updated after, so sweeps resume across processes;
+* :meth:`run_many` / :meth:`sweep` fan-out that executes configurations
+  in parallel worker processes (the runs are independent and seeded, so
+  parallel results are bit-identical to serial ones).
+
+The module-level :func:`repro.sim.runner.run_simulation` is a thin shim
+over :func:`default_engine`, so existing call sites keep the memoisation
+behaviour they had.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.circuits.technology import get_technology
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.energy.cache_energy import combine_run_energy
+from repro.workloads.characteristics import benchmark_names
+from repro.workloads.synthetic import make_workload
+
+from .config import SimulationConfig
+from .metrics import RunResult
+from .store import ResultStore
+
+__all__ = ["SimEngine", "default_engine", "execute_run"]
+
+
+def execute_run(config: SimulationConfig) -> RunResult:
+    """Simulate one configuration, uncached.
+
+    This is the pure "architectural simulation" step: wire the synthetic
+    workload, the memory hierarchy with its precharge policies and the
+    out-of-order pipeline together, run the configured number of
+    micro-ops, and collect timing, cache and energy results.  It is a
+    module-level function so worker processes can execute it directly.
+    """
+    workload = make_workload(config.benchmark, seed=config.seed)
+    hierarchy = MemoryHierarchy(
+        config=config.hierarchy_config(),
+        icache_controller=config.icache_controller(),
+        dcache_controller=config.dcache_controller(),
+    )
+    pipeline = OutOfOrderPipeline(
+        hierarchy=hierarchy,
+        instruction_stream=workload.instructions(),
+        config=config.pipeline_config(),
+    )
+    stats = pipeline.run(config.n_instructions)
+    breakdowns = hierarchy.finalize(pipeline.cycle)
+    energy = combine_run_energy(
+        breakdowns,
+        tech=get_technology(config.feature_size_nm),
+        pipeline_stats=stats,
+    )
+    return RunResult(
+        benchmark=config.benchmark,
+        # Canonical registry names, not the spec's spelling: a run
+        # requested under an alias must be labeled identically to the
+        # same run requested under the canonical name (they share a key).
+        dcache_policy=config.dcache.info().name,
+        icache_policy=config.icache.info().name,
+        feature_size_nm=config.feature_size_nm,
+        subarray_bytes=config.subarray_bytes,
+        cycles=pipeline.cycle,
+        pipeline=stats,
+        energy=energy,
+        dcache_miss_ratio=hierarchy.l1d.miss_ratio,
+        icache_miss_ratio=hierarchy.l1i.miss_ratio,
+        dcache_gaps=hierarchy.l1d.tracker.access_gaps(),
+        icache_gaps=hierarchy.l1i.tracker.access_gaps(),
+        dcache_accesses=hierarchy.l1d.accesses,
+        icache_accesses=hierarchy.l1i.accesses,
+        dcache_delayed_accesses=hierarchy.l1d.precharge_penalties,
+        icache_delayed_accesses=hierarchy.l1i.precharge_penalties,
+    )
+
+
+def _worker_context():
+    """The multiprocessing context used for parallel fan-out.
+
+    Prefer ``fork`` where available: worker processes then inherit the
+    parent's policy registry, so policies registered at runtime (tests,
+    plugins) work in parallel sweeps.  On spawn-only platforms workers
+    re-import :mod:`repro`, which registers the built-ins; runtime
+    registrations must live in an importable module to participate
+    (the standard multiprocessing caveat).
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+class SimEngine:
+    """Run simulations with caching, persistence and parallelism.
+
+    Args:
+        max_cached_runs: Capacity of the in-memory LRU result cache.
+        workers: Default process count for :meth:`run_many` /
+            :meth:`sweep`; ``1`` means serial in-process execution.
+        store: Optional on-disk result store (or a directory path for
+            one), consulted before computing and updated after.
+    """
+
+    def __init__(
+        self,
+        max_cached_runs: int = 1024,
+        workers: int = 1,
+        store: Optional[Union[ResultStore, str, Path]] = None,
+    ) -> None:
+        if max_cached_runs < 1:
+            raise ValueError("max_cached_runs must be at least 1")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.max_cached_runs = max_cached_runs
+        self.workers = workers
+        self.store = ResultStore(store) if isinstance(store, (str, Path)) else store
+        self._cache: "OrderedDict[Tuple, RunResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "memory_hits": 0,
+            "store_hits": 0,
+            "computed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def __bool__(self) -> bool:
+        # An engine with an empty cache is still an engine: never let
+        # truthiness defaulting (``engine or default_engine()``) swap in
+        # the wrong instance.
+        return True
+
+    def clear(self) -> None:
+        """Drop every memoised run (tests use this for isolation)."""
+        with self._lock:
+            self._cache.clear()
+
+    def cached_results(self) -> List[RunResult]:
+        """The in-memory cached results, least recently used first."""
+        with self._lock:
+            return list(self._cache.values())
+
+    def _cache_get(self, key: Tuple) -> Optional[RunResult]:
+        with self._lock:
+            result = self._cache.get(key)
+            if result is not None:
+                self._cache.move_to_end(key)
+                self.stats["memory_hits"] += 1
+            return result
+
+    def _bump(self, stat: str) -> None:
+        with self._lock:
+            self.stats[stat] += 1
+
+    def _cache_put(self, key: Tuple, result: RunResult) -> None:
+        with self._lock:
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.max_cached_runs:
+                self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, config: SimulationConfig, use_cache: bool = True) -> RunResult:
+        """Simulate one configuration, reusing cached results when allowed."""
+        return self.run_many([config], workers=1, use_cache=use_cache)[0]
+
+    def run_many(
+        self,
+        configs: Sequence[SimulationConfig],
+        workers: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> List[RunResult]:
+        """Simulate many configurations, in parallel when ``workers > 1``.
+
+        Results come back in input order and are identical to running
+        each configuration serially (runs are independent and fully
+        seeded).  Configurations already in the cache or store are not
+        re-simulated, and duplicates are simulated once.
+        """
+        workers = self.workers if workers is None else workers
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        configs = list(configs)
+        results: List[Optional[RunResult]] = [None] * len(configs)
+
+        pending: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        pending_configs: Dict[Tuple, SimulationConfig] = {}
+        for index, config in enumerate(configs):
+            key = config.cache_key()
+            hit: Optional[RunResult] = None
+            if use_cache:
+                hit = self._cache_get(key)
+                if hit is None and self.store is not None:
+                    hit = self.store.get(config)
+                    if hit is not None:
+                        self._bump("store_hits")
+                        self._cache_put(key, hit)
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending.setdefault(key, []).append(index)
+                pending_configs.setdefault(key, config)
+
+        todo = list(pending_configs.items())
+        if todo:
+            todo_configs = [config for _, config in todo]
+            if workers > 1 and len(todo) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(todo)),
+                    mp_context=_worker_context(),
+                ) as executor:
+                    computed = list(executor.map(execute_run, todo_configs))
+            else:
+                computed = [execute_run(config) for config in todo_configs]
+            for (key, config), result in zip(todo, computed):
+                self._bump("computed")
+                if use_cache:
+                    self._cache_put(key, result)
+                    if self.store is not None:
+                        self.store.put(config, result)
+                for index in pending[key]:
+                    results[index] = result
+        return results  # type: ignore[return-value]
+
+    def sweep(
+        self,
+        base_config: SimulationConfig,
+        benchmarks: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
+    ) -> Dict[str, RunResult]:
+        """Run ``base_config`` for every benchmark in ``benchmarks``.
+
+        Args:
+            base_config: Template configuration; only the benchmark name
+                is substituted (via :func:`dataclasses.replace`, so every
+                other field — including ones added later — carries over).
+            benchmarks: Benchmark names; defaults to all sixteen.
+            workers: Process count; defaults to the engine's.
+
+        Returns:
+            Mapping from benchmark name to its :class:`RunResult`.
+        """
+        names = list(benchmarks) if benchmarks is not None else benchmark_names()
+        configs = [replace(base_config, benchmark=name) for name in names]
+        results = self.run_many(configs, workers=workers)
+        return dict(zip(names, results))
+
+    def select_thresholds(self, benchmark: str, base_config: SimulationConfig, **kwargs):
+        """Profile-based per-benchmark threshold selection (Section 6.4).
+
+        Delegates to :func:`repro.sim.sweep.select_benchmark_thresholds`
+        with this engine supplying the profiling run.
+        """
+        from .sweep import select_benchmark_thresholds
+
+        return select_benchmark_thresholds(benchmark, base_config, engine=self, **kwargs)
+
+
+_DEFAULT_ENGINE: Optional[SimEngine] = None
+_DEFAULT_ENGINE_LOCK = threading.Lock()
+
+
+def default_engine() -> SimEngine:
+    """The process-wide engine behind the module-level convenience API."""
+    global _DEFAULT_ENGINE
+    with _DEFAULT_ENGINE_LOCK:
+        if _DEFAULT_ENGINE is None:
+            _DEFAULT_ENGINE = SimEngine()
+        return _DEFAULT_ENGINE

@@ -1,9 +1,16 @@
-"""Run results and derived metrics."""
+"""Run results and derived metrics.
+
+:class:`RunResult` is fully serialisable: :meth:`RunResult.to_dict` /
+:meth:`RunResult.from_dict` round-trip exactly through JSON, which backs
+the on-disk :class:`~repro.sim.store.ResultStore`, the ``--json`` output
+of the ``repro`` CLI, and cross-process transport in parallel sweeps.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.cache.energy_accounting import EnergyBreakdown
 from repro.cpu.stats import PipelineStats
@@ -76,6 +83,47 @@ class RunResult:
             f"relD(D)={self.energy.dcache_relative_discharge:5.3f} "
             f"relD(I)={self.energy.icache_relative_discharge:5.3f}"
         )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "benchmark": self.benchmark,
+            "dcache_policy": self.dcache_policy,
+            "icache_policy": self.icache_policy,
+            "feature_size_nm": self.feature_size_nm,
+            "subarray_bytes": self.subarray_bytes,
+            "cycles": self.cycles,
+            "pipeline": self.pipeline.to_dict(),
+            "energy": self.energy.to_dict(),
+            "dcache_miss_ratio": self.dcache_miss_ratio,
+            "icache_miss_ratio": self.icache_miss_ratio,
+            "dcache_gaps": list(self.dcache_gaps),
+            "icache_gaps": list(self.icache_gaps),
+            "dcache_accesses": self.dcache_accesses,
+            "icache_accesses": self.icache_accesses,
+            "dcache_delayed_accesses": self.dcache_delayed_accesses,
+            "icache_delayed_accesses": self.icache_delayed_accesses,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        fields = dict(data)
+        fields["pipeline"] = PipelineStats.from_dict(fields["pipeline"])
+        fields["energy"] = CacheEnergyReport.from_dict(fields["energy"])
+        fields["dcache_gaps"] = list(fields["dcache_gaps"])
+        fields["icache_gaps"] = list(fields["icache_gaps"])
+        return cls(**fields)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Deserialise from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
 
 
 def slowdown(result: RunResult, baseline: RunResult) -> float:

@@ -1,103 +1,32 @@
-"""Run one benchmark under one configuration.
+"""Module-level convenience API over the default :class:`SimEngine`.
 
-This is the equivalent of the paper's "architectural simulation" step: it
-wires a synthetic workload, the memory hierarchy with its precharge
-policies and the out-of-order pipeline together, runs a fixed number of
-micro-ops, and collects timing, cache and energy results into a
-:class:`~repro.sim.metrics.RunResult`.
-
-Results are memoised per configuration within a process (the experiment
-modules ask for the same baseline run many times).
+Kept for backwards compatibility (and because one shared memoising
+engine per process is the right default for the experiment modules):
+:func:`run_simulation` and :func:`clear_run_cache` delegate to
+:func:`repro.sim.engine.default_engine`.  Code that needs scoped caching,
+on-disk persistence or parallel fan-out should construct its own
+:class:`~repro.sim.engine.SimEngine`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
-
-from repro.cache.hierarchy import MemoryHierarchy
-from repro.circuits.technology import get_technology
-from repro.energy.cache_energy import combine_run_energy
-from repro.cpu.pipeline import OutOfOrderPipeline
-from repro.workloads.synthetic import make_workload
-
 from .config import SimulationConfig
+from .engine import default_engine
 from .metrics import RunResult
 
 __all__ = ["run_simulation", "clear_run_cache"]
 
-_RUN_CACHE: Dict[Tuple, RunResult] = {}
-
-
-def _cache_key(config: SimulationConfig) -> Tuple:
-    return (
-        config.benchmark,
-        config.dcache_policy,
-        config.icache_policy,
-        config.feature_size_nm,
-        config.subarray_bytes,
-        config.dcache_threshold if "gated" in config.dcache_policy else None,
-        config.icache_threshold if "gated" in config.icache_policy else None,
-        config.n_instructions,
-        config.seed,
-        config.pipeline,
-    )
-
-
-def clear_run_cache() -> None:
-    """Drop every memoised run (tests use this for isolation)."""
-    _RUN_CACHE.clear()
-
 
 def run_simulation(config: SimulationConfig, use_cache: bool = True) -> RunResult:
-    """Simulate one configuration and return its results.
+    """Simulate one configuration on the default engine.
 
     Args:
         config: The full run description.
         use_cache: Reuse a previous identical run when available.
     """
-    key = _cache_key(config)
-    if use_cache and key in _RUN_CACHE:
-        return _RUN_CACHE[key]
+    return default_engine().run(config, use_cache=use_cache)
 
-    workload = make_workload(config.benchmark, seed=config.seed)
-    dcache_controller = config.dcache_controller()
-    icache_controller = config.icache_controller()
-    hierarchy = MemoryHierarchy(
-        config=config.hierarchy_config(),
-        icache_controller=icache_controller,
-        dcache_controller=dcache_controller,
-    )
-    pipeline = OutOfOrderPipeline(
-        hierarchy=hierarchy,
-        instruction_stream=workload.instructions(),
-        config=config.pipeline_config(),
-    )
-    stats = pipeline.run(config.n_instructions)
-    breakdowns = hierarchy.finalize(pipeline.cycle)
-    energy = combine_run_energy(
-        breakdowns,
-        tech=get_technology(config.feature_size_nm),
-        pipeline_stats=stats,
-    )
 
-    result = RunResult(
-        benchmark=config.benchmark,
-        dcache_policy=config.dcache_policy,
-        icache_policy=config.icache_policy,
-        feature_size_nm=config.feature_size_nm,
-        subarray_bytes=config.subarray_bytes,
-        cycles=pipeline.cycle,
-        pipeline=stats,
-        energy=energy,
-        dcache_miss_ratio=hierarchy.l1d.miss_ratio,
-        icache_miss_ratio=hierarchy.l1i.miss_ratio,
-        dcache_gaps=hierarchy.l1d.tracker.access_gaps(),
-        icache_gaps=hierarchy.l1i.tracker.access_gaps(),
-        dcache_accesses=hierarchy.l1d.accesses,
-        icache_accesses=hierarchy.l1i.accesses,
-        dcache_delayed_accesses=hierarchy.l1d.precharge_penalties,
-        icache_delayed_accesses=hierarchy.l1i.precharge_penalties,
-    )
-    if use_cache:
-        _RUN_CACHE[key] = result
-    return result
+def clear_run_cache() -> None:
+    """Drop every memoised run (tests use this for isolation)."""
+    default_engine().clear()

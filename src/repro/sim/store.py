@@ -1,0 +1,107 @@
+"""On-disk result store: sweeps resume across processes.
+
+A :class:`ResultStore` is a directory of JSON files, one per simulated
+configuration, keyed by a digest of the configuration's canonical
+serialised form.  :class:`~repro.sim.engine.SimEngine` consults the store
+before computing a run and writes every fresh result back, so a killed or
+re-invoked sweep only simulates the configurations it has not seen —
+the cross-product evaluations of the paper (16 benchmarks x 6 policies x
+nodes x subarray sizes) become restartable.
+
+The files are plain :meth:`~repro.sim.metrics.RunResult.to_dict` JSON, so
+they double as a machine-readable archive of every run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from hashlib import sha256
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from .config import SimulationConfig
+from .metrics import RunResult
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Persist :class:`RunResult` objects keyed by configuration."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(config: SimulationConfig) -> str:
+        """Stable digest identifying one configuration."""
+        canonical = dict(config.to_dict())
+        canonical["dcache"] = config.dcache.canonical().to_dict()
+        canonical["icache"] = config.icache.canonical().to_dict()
+        payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+        return sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    def _path(self, config: SimulationConfig) -> Path:
+        return self.directory / f"{self.key_for(config)}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, config: SimulationConfig) -> Optional[RunResult]:
+        """The stored result for ``config``, or ``None``."""
+        path = self._path(config)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+            return RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            # A truncated write (e.g. a killed process) must not poison
+            # the sweep; recompute and overwrite.
+            return None
+
+    def put(self, config: SimulationConfig, result: RunResult) -> None:
+        """Persist ``result`` for ``config`` (atomic within the store dir)."""
+        payload = {"config": config.to_dict(), "result": result.to_dict()}
+        path = self._path(config)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, config: SimulationConfig) -> bool:
+        return self._path(config).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def iter_results(self) -> Iterator[RunResult]:
+        """Every stored result (order unspecified)."""
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                yield RunResult.from_dict(payload["result"])
+            except (KeyError, TypeError, ValueError, OSError):
+                continue
+
+    def clear(self) -> None:
+        """Delete every stored result."""
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass

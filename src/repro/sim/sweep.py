@@ -2,7 +2,9 @@
 
 Helpers shared by the experiment modules:
 
-* run a set of benchmarks under a policy pair and aggregate results;
+* run a set of benchmarks under a policy pair and aggregate results
+  (these are thin wrappers over :meth:`repro.sim.engine.SimEngine.sweep`,
+  which handles caching, persistence and parallel fan-out);
 * find the per-benchmark optimum gated-precharging threshold (Section 6.4)
   by profiling a baseline run's subarray gap distribution and picking the
   most aggressive threshold whose estimated slowdown stays within the 1%
@@ -11,20 +13,20 @@ Helpers shared by the experiment modules:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional, Sequence
 
+from repro.core.registry import PolicySpec
 from repro.core.threshold import (
     CANDIDATE_THRESHOLDS,
     PERFORMANCE_BUDGET,
     ThresholdProfile,
     select_threshold,
 )
-from repro.workloads.characteristics import benchmark_names
 
 from .config import SimulationConfig
-from .metrics import RunResult, slowdown
-from .runner import run_simulation
+from .engine import SimEngine, default_engine
+from .metrics import RunResult
 
 __all__ = [
     "sweep_benchmarks",
@@ -58,6 +60,8 @@ class BenchmarkThresholds:
 def sweep_benchmarks(
     base_config: SimulationConfig,
     benchmarks: Optional[Sequence[str]] = None,
+    engine: Optional[SimEngine] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, RunResult]:
     """Run ``base_config`` for every benchmark in ``benchmarks``.
 
@@ -65,27 +69,14 @@ def sweep_benchmarks(
         base_config: Template configuration; only the benchmark name is
             substituted.
         benchmarks: Benchmark names; defaults to all sixteen.
+        engine: Engine to run on; defaults to the process-wide engine.
+        workers: Worker processes; defaults to the engine's setting.
 
     Returns:
         Mapping from benchmark name to its :class:`RunResult`.
     """
-    names = list(benchmarks) if benchmarks is not None else benchmark_names()
-    results: Dict[str, RunResult] = {}
-    for name in names:
-        config = SimulationConfig(
-            benchmark=name,
-            dcache_policy=base_config.dcache_policy,
-            icache_policy=base_config.icache_policy,
-            feature_size_nm=base_config.feature_size_nm,
-            subarray_bytes=base_config.subarray_bytes,
-            dcache_threshold=base_config.dcache_threshold,
-            icache_threshold=base_config.icache_threshold,
-            n_instructions=base_config.n_instructions,
-            seed=base_config.seed,
-            pipeline=base_config.pipeline,
-        )
-        results[name] = run_simulation(config)
-    return results
+    engine = default_engine() if engine is None else engine
+    return engine.sweep(base_config, benchmarks=benchmarks, workers=workers)
 
 
 def select_benchmark_thresholds(
@@ -94,6 +85,7 @@ def select_benchmark_thresholds(
     budget: float = PERFORMANCE_BUDGET,
     candidates: Iterable[int] = CANDIDATE_THRESHOLDS,
     predecode_coverage: float = 0.7,
+    engine: Optional[SimEngine] = None,
 ) -> BenchmarkThresholds:
     """Find the per-benchmark optimum thresholds from a profiling run.
 
@@ -111,18 +103,16 @@ def select_benchmark_thresholds(
         predecode_coverage: Fraction of delayed data-cache accesses hidden
             by predecoding (Section 6.3 measures ~80% accuracy on 1KB
             subarrays; a portion of that is in time to help).
+        engine: Engine to run on; defaults to the process-wide engine.
     """
-    profile_config = SimulationConfig(
+    engine = default_engine() if engine is None else engine
+    profile_config = replace(
+        base_config,
         benchmark=benchmark,
-        dcache_policy="static",
-        icache_policy="static",
-        feature_size_nm=base_config.feature_size_nm,
-        subarray_bytes=base_config.subarray_bytes,
-        n_instructions=base_config.n_instructions,
-        seed=base_config.seed,
-        pipeline=base_config.pipeline,
+        dcache=PolicySpec("static"),
+        icache=PolicySpec("static"),
     )
-    baseline = run_simulation(profile_config)
+    baseline = engine.run(profile_config)
 
     dcache_profile = ThresholdProfile(
         gaps=baseline.dcache_gaps,

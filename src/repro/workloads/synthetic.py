@@ -21,6 +21,7 @@ sensitive to:
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Iterator, List, Optional
 
 from .characteristics import BenchmarkCharacteristics, get_benchmark
@@ -75,7 +76,12 @@ class SyntheticWorkload:
     def __init__(self, characteristics: BenchmarkCharacteristics, seed: int = 1) -> None:
         self.characteristics = characteristics
         self.seed = seed
-        self._rng = random.Random((hash(characteristics.name) & 0xFFFF) ^ seed)
+        # zlib.crc32 rather than hash(): str hashing is randomised per
+        # interpreter process, which would make the "same" seeded workload
+        # differ across processes — breaking parallel-vs-serial equality
+        # and on-disk result-store resumption.
+        name_digest = zlib.crc32(characteristics.name.encode("utf-8"))
+        self._rng = random.Random((name_digest & 0xFFFF) ^ seed)
         ch = characteristics
 
         self._data_region = HotColdRegion(

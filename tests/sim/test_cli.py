@@ -1,0 +1,137 @@
+"""Tests for the ``python -m repro`` command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sim import RunResult
+
+
+def run_cli(capsys, *argv):
+    status = main(list(argv))
+    out = capsys.readouterr().out
+    return status, out
+
+
+class TestExperimentCommand:
+    def test_list(self, capsys):
+        status, out = run_cli(capsys, "experiment", "--list")
+        assert status == 0
+        for name in ("table1", "figure8", "ondemand"):
+            assert name in out
+
+    def test_table1_smoke(self, capsys):
+        status, out = run_cli(capsys, "experiment", "table1")
+        assert status == 0
+        assert "Table 1" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["experiment", "figure99"]) == 2
+
+    def test_non_engine_experiment_declares_itself(self, capsys):
+        status = main(["experiment", "table1", "--json", "--workers", "4"])
+        captured = capsys.readouterr()
+        assert status == 0
+        payload = json.loads(captured.out)
+        assert payload["uses_engine"] is False
+        assert payload["runs"] == []
+        assert "no effect" in captured.err
+
+    def test_ignored_option_flags_are_noted(self, capsys):
+        status = main(["experiment", "table1", "--benchmarks", "gcc"])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "ignores --benchmarks" in captured.err
+
+    def test_figure8_json_round_trips_through_runresult(self, capsys):
+        status, out = run_cli(
+            capsys,
+            "experiment", "figure8", "--json",
+            "--benchmarks", "gcc", "--instructions", "3000",
+        )
+        assert status == 0
+        payload = json.loads(out)
+        assert payload["experiment"] == "figure8"
+        assert payload["options"]["benchmarks"] == ["gcc"]
+        assert "gcc" in payload["result"]["optimum"]
+        assert payload["runs"], "engine runs must be included in JSON output"
+        for entry in payload["runs"]:
+            rebuilt = RunResult.from_dict(entry)
+            assert rebuilt.to_dict() == entry
+            assert rebuilt.benchmark == "gcc"
+
+
+class TestRunCommand:
+    def test_human_readable(self, capsys):
+        status, out = run_cli(
+            capsys,
+            "run", "--benchmark", "gcc", "--dcache", "gated:threshold=50",
+            "--instructions", "2000",
+        )
+        assert status == 0
+        assert "gcc" in out and "gated" in out
+
+    def test_json_round_trip(self, capsys):
+        status, out = run_cli(
+            capsys,
+            "run", "--benchmark", "mesa", "--instructions", "2000", "--json",
+        )
+        assert status == 0
+        result = RunResult.from_dict(json.loads(out))
+        assert result.benchmark == "mesa"
+        assert result.cycles > 0
+
+    def test_bad_policy_spec_fails_cleanly(self, capsys):
+        assert main(["run", "--dcache", "not-a-policy", "--instructions", "500"]) == 2
+
+    def test_unknown_benchmark_and_node_fail_cleanly(self, capsys):
+        assert main(["run", "--benchmark", "bogus", "--instructions", "500"]) == 2
+        assert main(["run", "--feature-size", "80", "--instructions", "500"]) == 2
+        assert main(["sweep", "--benchmarks", "gcc,typo", "--instructions", "500"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark" in err and "unknown technology node" in err
+
+    def test_zero_workers_rejected_on_every_subcommand(self, capsys):
+        assert main(["run", "--workers", "0", "--instructions", "500"]) == 2
+        assert main(["experiment", "table1", "--workers", "0"]) == 2
+        assert main(["sweep", "--workers", "0", "--instructions", "500"]) == 2
+
+
+class TestSweepCommand:
+    def test_json_sweep(self, capsys):
+        status, out = run_cli(
+            capsys,
+            "sweep", "--benchmarks", "gcc,mesa", "--instructions", "1500", "--json",
+        )
+        assert status == 0
+        payload = json.loads(out)
+        assert set(payload) == {"gcc", "mesa"}
+        for name, entry in payload.items():
+            assert RunResult.from_dict(entry).benchmark == name
+
+    def test_store_resumes_across_invocations(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--benchmarks", "gcc,mesa", "--instructions", "1500",
+            "--store", str(tmp_path / "results"), "--json",
+        ]
+        status, first = run_cli(capsys, *argv)
+        assert status == 0
+        status, second = run_cli(capsys, *argv)
+        assert status == 0
+        assert json.loads(first) == json.loads(second)
+        assert len(list((tmp_path / "results").glob("*.json"))) == 2
+
+
+class TestPoliciesCommand:
+    def test_lists_registered_policies(self, capsys):
+        status, out = run_cli(capsys, "policies")
+        assert status == 0
+        assert "gated-predecode" in out and "threshold" in out
+
+    def test_json(self, capsys):
+        status, out = run_cli(capsys, "policies", "--json")
+        assert status == 0
+        payload = json.loads(out)
+        assert payload["gated"]["defaults"]["threshold"] == 100
+        assert payload["on-demand"]["scheduler_extra_latency"] == 1

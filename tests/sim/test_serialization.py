@@ -1,0 +1,75 @@
+"""JSON round-trip tests for configs, stats, energy reports and results."""
+
+import json
+
+from repro.core.registry import PolicySpec
+from repro.cpu.pipeline import PipelineConfig
+from repro.cpu.stats import PipelineStats
+from repro.energy.cache_energy import CacheEnergyReport
+from repro.sim import RunResult, SimulationConfig
+
+
+class TestRunResultRoundTrip:
+    def test_json_round_trip_is_exact(self, small_baseline_run):
+        text = small_baseline_run.to_json()
+        rebuilt = RunResult.from_json(text)
+        assert rebuilt == small_baseline_run
+        # And the dict form is stable across a second cycle.
+        assert rebuilt.to_dict() == small_baseline_run.to_dict()
+
+    def test_gated_run_round_trip(self, small_gated_run):
+        rebuilt = RunResult.from_dict(
+            json.loads(json.dumps(small_gated_run.to_dict()))
+        )
+        assert rebuilt == small_gated_run
+        assert rebuilt.energy.dcache_relative_discharge == (
+            small_gated_run.energy.dcache_relative_discharge
+        )
+
+    def test_derived_metrics_survive(self, small_baseline_run):
+        rebuilt = RunResult.from_json(small_baseline_run.to_json())
+        assert rebuilt.ipc == small_baseline_run.ipc
+        assert rebuilt.summary() == small_baseline_run.summary()
+
+
+class TestComponentRoundTrips:
+    def test_pipeline_stats(self):
+        stats = PipelineStats(cycles=10, committed_instructions=7, branches=2)
+        assert PipelineStats.from_dict(json.loads(json.dumps(stats.to_dict()))) == stats
+
+    def test_energy_report(self, small_gated_run):
+        report = small_gated_run.energy
+        rebuilt = CacheEnergyReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert rebuilt == report
+        assert rebuilt.processor is not None
+
+    def test_energy_report_without_processor(self, small_gated_run):
+        report = CacheEnergyReport(
+            dcache=small_gated_run.energy.dcache,
+            icache=small_gated_run.energy.icache,
+        )
+        rebuilt = CacheEnergyReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert rebuilt == report
+        assert rebuilt.processor is None
+
+
+class TestConfigRoundTrip:
+    def test_default_config(self):
+        config = SimulationConfig()
+        rebuilt = SimulationConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+
+    def test_full_config(self):
+        config = SimulationConfig(
+            benchmark="art",
+            dcache=PolicySpec("gated-predecode", {"threshold": 30}),
+            icache=PolicySpec("gated", {"threshold": 70}),
+            feature_size_nm=100,
+            subarray_bytes=4096,
+            n_instructions=12_345,
+            seed=9,
+            pipeline=PipelineConfig(width=4, rob_entries=64),
+        )
+        rebuilt = SimulationConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+        assert rebuilt.cache_key() == config.cache_key()
