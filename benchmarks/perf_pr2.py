@@ -1,0 +1,148 @@
+"""PR-2 performance harness: fast-path vs reference wall-clock.
+
+Writes ``BENCH_pr2.json`` at the repository root (or ``--output``):
+
+* ``sweep_benchmarks`` — the paper's 16-benchmark sweep (gated/gated),
+  timed end-to-end on the reference loop and on the fast path with a
+  cold compiled-trace cache, with a result-equality check;
+* ``runs`` — a benchmark × policy grid timed one run at a time (the
+  fast path's compiled-trace cache is cleared per benchmark, so the
+  first policy pays the compile and the rest show the sweep-style
+  amortisation a real cross-product enjoys);
+* ``summary`` — geometric-mean / min / max speedups.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_pr2.py
+    PYTHONPATH=src python benchmarks/perf_pr2.py --instructions 8000 --output BENCH_pr2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimEngine, execute_run, execute_run_fast
+from repro.sim.fastpath import clear_trace_cache
+from repro.sim.metrics import geometric_mean
+from repro.workloads.characteristics import benchmark_names
+
+#: Policies timed in the per-run grid (the paper's studied schemes).
+GRID_POLICIES = ("static", "on-demand", "oracle", "gated", "gated-predecode")
+
+#: Benchmark subset for the per-run grid (the full sixteen are covered
+#: by the sweep entry; the grid shows per-policy behaviour).
+GRID_BENCHMARKS = ("gcc", "mcf", "art", "equake")
+
+
+def _time_sweep(instructions: int) -> dict:
+    base = SimulationConfig(
+        benchmark="gcc", dcache="gated", icache="gated", n_instructions=instructions
+    )
+    clear_trace_cache()
+    start = time.perf_counter()
+    reference = SimEngine().sweep(base)
+    reference_s = time.perf_counter() - start
+
+    clear_trace_cache()
+    start = time.perf_counter()
+    fast = SimEngine(fast=True).sweep(base)
+    fast_s = time.perf_counter() - start
+
+    identical = all(
+        fast[name].to_dict() == reference[name].to_dict() for name in reference
+    )
+    return {
+        "benchmarks": len(reference),
+        "reference_s": round(reference_s, 4),
+        "fast_s": round(fast_s, 4),
+        "speedup": round(reference_s / fast_s, 3),
+        "identical": identical,
+    }
+
+
+def _time_grid(instructions: int) -> list:
+    rows = []
+    for benchmark in GRID_BENCHMARKS:
+        clear_trace_cache()
+        for policy in GRID_POLICIES:
+            config = SimulationConfig(
+                benchmark=benchmark,
+                dcache=policy,
+                icache=policy,
+                n_instructions=instructions,
+            )
+            start = time.perf_counter()
+            reference = execute_run(config)
+            reference_s = time.perf_counter() - start
+            start = time.perf_counter()
+            fast = execute_run_fast(config)
+            fast_s = time.perf_counter() - start
+            rows.append(
+                {
+                    "benchmark": benchmark,
+                    "policy": policy,
+                    "reference_s": round(reference_s, 4),
+                    "fast_s": round(fast_s, 4),
+                    "speedup": round(reference_s / fast_s, 3),
+                    "identical": fast.to_dict() == reference.to_dict(),
+                }
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--instructions", type=int, default=30_000,
+        help="micro-ops per run (default: 30000, the experiments' default)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_pr2.json", metavar="PATH",
+        help="destination JSON (default: BENCH_pr2.json)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"timing sweep_benchmarks ({len(benchmark_names())} benchmarks, "
+          f"{args.instructions} ops each)...", flush=True)
+    sweep = _time_sweep(args.instructions)
+    print(f"  reference {sweep['reference_s']:.2f}s  fast {sweep['fast_s']:.2f}s  "
+          f"speedup {sweep['speedup']:.2f}x  identical={sweep['identical']}")
+
+    print("timing benchmark x policy grid...", flush=True)
+    runs = _time_grid(args.instructions)
+    for row in runs:
+        print(f"  {row['benchmark']:8s} {row['policy']:16s} "
+              f"{row['reference_s']:7.3f}s -> {row['fast_s']:7.3f}s  "
+              f"{row['speedup']:5.2f}x")
+
+    speedups = [row["speedup"] for row in runs]
+    payload = {
+        "schema": "repro-bench/pr2",
+        "instructions": args.instructions,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sweep_benchmarks": sweep,
+        "runs": runs,
+        "summary": {
+            "grid_geomean_speedup": round(geometric_mean(speedups), 3),
+            "grid_min_speedup": min(speedups),
+            "grid_max_speedup": max(speedups),
+            "sweep_speedup": sweep["speedup"],
+            "all_identical": sweep["identical"] and all(r["identical"] for r in runs),
+        },
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    if not payload["summary"]["all_identical"]:
+        print("ERROR: fast path diverged from the reference path")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,13 @@ caches are simulated with.  Each access:
 The cache never stores data values — only tags and metadata — because the
 paper's results depend only on hit/miss behaviour, timing and subarray
 residency.
+
+This class is the *reference* L1 model.  The batched fast path
+(:class:`repro.sim.fastpath._FastL1Cache`) re-implements the tag/LRU/MSHR
+logic of :meth:`SetAssociativeCache.access` over flat arrays and must
+stay bit-identical — change access semantics here and there together (the
+differential suite in ``tests/sim/test_fastpath_differential.py`` will
+catch a mismatch).
 """
 
 from __future__ import annotations

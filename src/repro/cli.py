@@ -4,9 +4,14 @@ Reproduce the paper from a shell::
 
     python -m repro run --benchmark gcc --dcache gated-predecode:threshold=150
     python -m repro sweep --dcache gated --workers 4 --benchmarks gcc,mesa,art
+    python -m repro sweep --dcache gated --fast
+    python -m repro run --benchmark mix:gcc+mcf@2000 --fast
     python -m repro experiment figure8 --json --benchmarks gcc,mesa
     python -m repro experiment --list
     python -m repro policies
+    python -m repro trace record --benchmark gcc --out gcc.trace.gz
+    python -m repro run --benchmark trace:gcc.trace.gz
+    python -m repro regen-goldens
 
 Every subcommand accepts ``--json`` for machine-readable output; run and
 sweep results are full :meth:`~repro.sim.metrics.RunResult.to_dict`
@@ -21,35 +26,19 @@ instead of re-simulating.
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
-from typing import Any, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.circuits.technology import get_technology
 from repro.core.registry import PolicySpec, get_policy_info, policy_names
 from repro.experiments.registry import ExperimentOptions, experiment_names, get_experiment
+from repro.experiments.report import jsonify as _jsonify
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimEngine
-from repro.workloads.characteristics import get_benchmark
+from repro.workloads.scenarios import validate_workload_name
 
 __all__ = ["main", "build_parser"]
-
-
-def _jsonify(value: Any) -> Any:
-    """Best-effort conversion of result objects to JSON-safe values."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            field.name: _jsonify(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        }
-    if isinstance(value, dict):
-        return {str(key): _jsonify(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonify(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
 
 
 def _validate_user_input(benchmarks: Optional[List[str]], feature_size: Optional[int]) -> None:
@@ -57,11 +46,14 @@ def _validate_user_input(benchmarks: Optional[List[str]], feature_size: Optional
 
     The workload and technology tables raise KeyError (their documented
     contract); at the CLI boundary a bad benchmark name or node is user
-    input and must exit 2 with a message, not a traceback.
+    input and must exit 2 with a message, not a traceback.  Benchmark
+    names validate through :func:`validate_workload_name`, so scenario
+    (``mix:``/``phases:``) and ``trace:`` names are checked too —
+    without building the workload twice per invocation.
     """
     try:
         for name in benchmarks or ():
-            get_benchmark(name)
+            validate_workload_name(name)
         if feature_size is not None:
             get_technology(feature_size)
     except KeyError as error:
@@ -79,6 +71,7 @@ def _make_engine(args: argparse.Namespace) -> SimEngine:
     return SimEngine(
         workers=getattr(args, "workers", 1),
         store=getattr(args, "store", None),
+        fast=getattr(args, "fast", False),
     )
 
 
@@ -106,6 +99,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         default=None,
         help="persist results in DIR and reuse them on later invocations",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help=(
+            "execute on the batched fast-path kernel (several times faster, "
+            "bit-identical results)"
+        ),
     )
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON on stdout"
@@ -193,6 +194,46 @@ def build_parser() -> argparse.ArgumentParser:
     policies = subparsers.add_parser("policies", help="list registered precharge policies")
     policies.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON on stdout"
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="record or inspect compressed .trace.gz micro-op traces"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    record = trace_commands.add_parser(
+        "record", help="record a workload prefix to a trace file"
+    )
+    record.add_argument(
+        "--benchmark",
+        default="gcc",
+        help="benchmark or scenario name to record (default: gcc)",
+    )
+    record.add_argument("--out", required=True, metavar="PATH",
+                        help="destination trace file (*.trace.gz)")
+    record.add_argument("--instructions", type=int, default=20_000,
+                        help="micro-ops to record (default: 20000)")
+    record.add_argument("--seed", type=int, default=1, help="workload seed (default: 1)")
+    info = trace_commands.add_parser("info", help="show a trace file's metadata")
+    info.add_argument("path", help="trace file to inspect")
+    info.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON on stdout"
+    )
+
+    regen = subparsers.add_parser(
+        "regen-goldens",
+        help="recompute the golden experiment snapshots under tests/",
+    )
+    regen.add_argument(
+        "--dir",
+        default="tests/experiments/goldens",
+        metavar="DIR",
+        help="golden directory (default: tests/experiments/goldens)",
+    )
+    regen.add_argument(
+        "--reference",
+        action="store_true",
+        help="compute on the reference path instead of the fast path "
+        "(results are bit-identical; this is a cross-check knob)",
     )
 
     return parser
@@ -307,11 +348,49 @@ def _cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.tracefile import read_trace_meta, record_benchmark
+
+    if args.trace_command == "record":
+        _validate_user_input([args.benchmark], None)
+        try:
+            count = record_benchmark(
+                args.out, args.benchmark, args.instructions, seed=args.seed
+            )
+        except OSError as error:
+            # An unwritable destination is user input, not a bug.
+            raise ValueError(f"cannot write {args.out}: {error}") from None
+        print(f"recorded {count} micro-ops of {args.benchmark!r} to {args.out}")
+        return 0
+    try:
+        meta = read_trace_meta(args.path)
+    except OSError as error:
+        # Missing or unreadable-gzip paths exit 2 like every bad input.
+        raise ValueError(f"cannot read {args.path}: {error}") from None
+    if args.json:
+        print(json.dumps(meta, sort_keys=True))
+    else:
+        for key in sorted(meta):
+            print(f"{key:12s} {meta[key]}")
+    return 0
+
+
+def _cmd_regen_goldens(args: argparse.Namespace) -> int:
+    from repro.experiments.goldens import write_goldens
+
+    written = write_goldens(args.dir, fast=not args.reference)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "experiment": _cmd_experiment,
     "policies": _cmd_policies,
+    "trace": _cmd_trace,
+    "regen-goldens": _cmd_regen_goldens,
 }
 
 

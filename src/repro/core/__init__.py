@@ -21,7 +21,12 @@
 * :mod:`~repro.core.predecode` — base-register subarray prediction.
 """
 
-from .decay_counter import DEFAULT_COUNTER_BITS, DecayCounter, counter_energy_fraction
+from .decay_counter import (
+    DEFAULT_COUNTER_BITS,
+    DecayCounter,
+    DecayCounterBank,
+    counter_energy_fraction,
+)
 from .gated import DEFAULT_THRESHOLD, GatedPrechargePolicy
 from .registry import (
     PolicyInfo,
@@ -49,6 +54,7 @@ from .threshold import (
 __all__ = [
     "DEFAULT_COUNTER_BITS",
     "DecayCounter",
+    "DecayCounterBank",
     "counter_energy_fraction",
     "DEFAULT_THRESHOLD",
     "GatedPrechargePolicy",

@@ -17,8 +17,19 @@ reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-__all__ = ["DecayCounter", "DEFAULT_COUNTER_BITS", "counter_energy_fraction"]
+try:  # numpy accelerates the bank's batched ticks when present
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+__all__ = [
+    "DecayCounter",
+    "DecayCounterBank",
+    "DEFAULT_COUNTER_BITS",
+    "counter_energy_fraction",
+]
 
 #: Counter width the paper found sufficient.
 DEFAULT_COUNTER_BITS = 10
@@ -76,6 +87,103 @@ class DecayCounter:
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
         self.value = min(self.saturation_value, self.value + cycles)
+
+
+class DecayCounterBank:
+    """All of one cache's decay counters, advanced in batch.
+
+    The hardware has one counter per subarray, all ticking every cycle;
+    modelling that structure one :class:`DecayCounter` at a time costs a
+    Python call per counter per step.  The bank stores the values as one
+    vector (numpy when available, a plain list otherwise) and applies a
+    whole interval of ticks as a single saturating add — the batched
+    analogue of the fast path's run-length accounting, and exactly
+    equivalent to ticking every counter ``cycles`` times.
+    """
+
+    def __init__(
+        self,
+        n_counters: int,
+        threshold: int,
+        bits: int = DEFAULT_COUNTER_BITS,
+    ) -> None:
+        if n_counters < 1:
+            raise ValueError("need at least one counter")
+        # Reuse DecayCounter's validation so bank and scalar counters
+        # accept exactly the same (threshold, bits) space.
+        DecayCounter(threshold=threshold, bits=bits)
+        self.threshold = threshold
+        self.bits = bits
+        self.saturation_value = (1 << bits) - 1
+        self._use_numpy = _np is not None
+        if self._use_numpy:
+            self._values = _np.zeros(n_counters, dtype=_np.int64)
+        else:
+            self._values = [0] * n_counters
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> List[int]:
+        """Current counter values (a copy, index-aligned with subarrays)."""
+        return [int(value) for value in self._values]
+
+    def advance(self, cycles: int) -> None:
+        """Tick every counter ``cycles`` times (vectorised, saturating)."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        if cycles == 0:
+            return
+        if self._use_numpy:
+            _np.minimum(self._values + cycles, self.saturation_value,
+                        out=self._values)
+        else:
+            saturation = self.saturation_value
+            self._values = [
+                value + cycles if value + cycles < saturation else saturation
+                for value in self._values
+            ]
+
+    def reset(self, index: int) -> None:
+        """An access touched counter ``index``: it returns to zero."""
+        self._values[index] = 0
+
+    def is_hot(self, index: int) -> bool:
+        """Whether subarray ``index`` should currently stay precharged."""
+        return self._values[index] < self.threshold
+
+    def hot_count(self) -> int:
+        """Number of counters currently below the threshold."""
+        if self._use_numpy:
+            return int((self._values < self.threshold).sum())
+        threshold = self.threshold
+        return sum(1 for value in self._values if value < threshold)
+
+    def counters(self) -> Sequence[DecayCounter]:
+        """Materialise the bank as scalar counters (tests, inspection)."""
+        return [
+            DecayCounter(threshold=self.threshold, bits=self.bits, value=int(value))
+            for value in self._values
+        ]
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Sequence[int],
+        threshold: int,
+        bits: int = DEFAULT_COUNTER_BITS,
+    ) -> "DecayCounterBank":
+        """Build a bank holding the given per-counter values."""
+        bank = cls(len(values), threshold=threshold, bits=bits)
+        saturation = bank.saturation_value
+        for index, value in enumerate(values):
+            if not 0 <= value <= saturation:
+                raise ValueError(
+                    f"counter value {value} does not fit in {bits} bits"
+                )
+            bank._values[index] = value
+        return bank
 
 
 def counter_energy_fraction(n_subarrays: int) -> float:

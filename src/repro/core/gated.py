@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .decay_counter import DEFAULT_COUNTER_BITS, DecayCounterBank
 from .policies import BasePrechargePolicy
 from .registry import register_policy
 from .predecode import Predecoder
@@ -108,6 +109,32 @@ class GatedPrechargePolicy(BasePrechargePolicy):
         return (cycle - reference) < self.threshold
 
     # ------------------------------------------------------------------
+    def counter_bank(self, cycle: int) -> DecayCounterBank:
+        """The Figure 7 counter bank's state at ``cycle``.
+
+        The simulation evaluates decay lazily from last-access cycles;
+        this materialises the equivalent hardware state — every counter
+        ticked once per cycle (batched, saturating) and reset by its
+        subarray's accesses — for inspection and reporting.  Counter
+        width grows beyond the paper's 10 bits when the threshold needs
+        it, so ``is_hot`` always agrees with the lazy evaluation.
+        """
+        self._require_attached()
+        bits = max(DEFAULT_COUNTER_BITS, self.threshold.bit_length())
+        saturation = (1 << bits) - 1
+        values = []
+        for last in self._last_access:
+            start = 0 if last is None else last
+            elapsed = cycle - start
+            values.append(min(max(0, elapsed), saturation))
+        return DecayCounterBank.from_values(
+            values, threshold=self.threshold, bits=bits
+        )
+
+    def precharged_subarrays(self, cycle: int) -> int:
+        """Number of subarrays precharged at ``cycle`` (hot counters)."""
+        return self.counter_bank(cycle).hot_count()
+
     @property
     def misprediction_rate(self) -> float:
         """Fraction of accesses that found their subarray isolated."""

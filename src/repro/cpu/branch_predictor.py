@@ -12,7 +12,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CombinationPredictor", "TwoBitCounter", "PredictorStats"]
+__all__ = [
+    "CombinationPredictor",
+    "TwoBitCounter",
+    "PredictorStats",
+    "DEFAULT_TABLE_BITS",
+    "DEFAULT_HISTORY_BITS",
+]
+
+#: Default predictor table size (log2 entries); the fast-path kernel
+#: inlines tables of exactly this size, so share rather than re-type.
+DEFAULT_TABLE_BITS = 12
+
+#: Default global-history length in bits.
+DEFAULT_HISTORY_BITS = 12
 
 
 class TwoBitCounter:
@@ -56,7 +69,11 @@ class PredictorStats:
 class CombinationPredictor:
     """Bimodal + gshare with a chooser table."""
 
-    def __init__(self, table_bits: int = 12, history_bits: int = 12) -> None:
+    def __init__(
+        self,
+        table_bits: int = DEFAULT_TABLE_BITS,
+        history_bits: int = DEFAULT_HISTORY_BITS,
+    ) -> None:
         if table_bits < 4 or history_bits < 1:
             raise ValueError("predictor tables too small")
         self._table_size = 1 << table_bits

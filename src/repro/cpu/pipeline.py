@@ -12,6 +12,12 @@ dispatch and fetch.  It is a performance model, not a functional one: the
 workload supplies pre-decoded micro-ops with register dependences, memory
 addresses and branch outcomes, and the pipeline determines how many cycles
 they take — which is exactly what the paper's slowdown numbers require.
+
+This is the *reference* core model.  The batched kernel in
+:func:`repro.sim.fastpath._simulate` re-implements these stages over flat
+arrays with incremental scheduler wakeup and must stay bit-identical —
+change stage semantics here and there together (the differential suite in
+``tests/sim/test_fastpath_differential.py`` will catch a mismatch).
 """
 
 from __future__ import annotations

@@ -1,0 +1,88 @@
+"""Golden-result snapshots for every registered experiment.
+
+Each of the paper's tables and figures is captured, on a small fixed
+configuration (:data:`GOLDEN_BENCHMARKS` / :data:`GOLDEN_INSTRUCTIONS`),
+as a JSON snapshot under ``tests/experiments/goldens/``.  The snapshot
+test recomputes every experiment and compares against the stored files,
+so a refactor that silently drifts the paper's numbers fails tier-1
+instead of shipping.
+
+Snapshots are computed on the fast-path kernel by default — the
+differential suite separately pins fast == reference, so the goldens
+guard the *model*, not the execution path; ``python -m repro
+regen-goldens --reference`` cross-checks on the reference loop.
+
+The comparison is byte-exact, which assumes a correctly-rounded libm
+(``exp``/``expm1``/``pow`` feed the energy numbers): glibc >= 2.28 —
+i.e. the committed snapshots and CI — agrees bit-for-bit, but other
+libms (musl, Apple) can differ in the last ulp.  A golden failure on a
+non-glibc platform with no model change is that, not drift; regenerate
+and compare on a glibc machine.
+
+Regenerate after an intentional model change::
+
+    python -m repro regen-goldens
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.sim.engine import SimEngine
+
+from .registry import ExperimentOptions, experiment_names, get_experiment
+from .report import jsonify
+
+__all__ = [
+    "GOLDEN_BENCHMARKS",
+    "GOLDEN_INSTRUCTIONS",
+    "golden_options",
+    "compute_golden",
+    "write_goldens",
+]
+
+#: Benchmark subset every engine-driven experiment is snapshotted on.
+GOLDEN_BENCHMARKS = ("gcc", "mcf")
+
+#: Instruction budget per snapshot run (small: the goldens guard
+#: numerical identity, not steady-state behaviour).
+GOLDEN_INSTRUCTIONS = 1500
+
+
+def golden_options() -> ExperimentOptions:
+    """The fixed options every golden snapshot is computed with."""
+    return ExperimentOptions(
+        benchmarks=GOLDEN_BENCHMARKS,
+        n_instructions=GOLDEN_INSTRUCTIONS,
+    )
+
+
+def compute_golden(name: str, fast: bool = True) -> Dict[str, Any]:
+    """Compute one experiment's golden payload (a JSON-safe dict)."""
+    experiment = get_experiment(name)
+    engine = SimEngine(fast=fast)
+    result = experiment.run(engine, golden_options())
+    return {
+        "experiment": experiment.name,
+        "title": experiment.title,
+        "options": jsonify(golden_options()),
+        "result": jsonify(result),
+        "formatted": experiment.format(result),
+    }
+
+
+def write_goldens(directory: Union[str, Path], fast: bool = True) -> List[Path]:
+    """Recompute and write every experiment's snapshot; returns the paths."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name in experiment_names():
+        payload = compute_golden(name, fast=fast)
+        path = target / f"{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        written.append(path)
+    return written

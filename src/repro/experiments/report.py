@@ -7,9 +7,32 @@ same rows/series layout as the corresponding table or figure in the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import dataclasses
+from typing import Any, Iterable, List, Sequence
 
-__all__ = ["format_table", "format_percent", "format_series"]
+__all__ = ["format_table", "format_percent", "format_series", "jsonify"]
+
+
+def jsonify(value: Any) -> Any:
+    """Best-effort conversion of result objects to JSON-safe values.
+
+    Dataclasses become field dictionaries (recursively), containers are
+    converted element-wise, scalars pass through, and anything else falls
+    back to ``repr``.  Shared by the CLI's ``--json`` output and the
+    golden-result snapshots, so both serialise experiments identically.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: jsonify(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
 
 
 def format_percent(value: float, digits: int = 1) -> str:

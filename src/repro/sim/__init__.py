@@ -19,7 +19,8 @@ engine for quick interactive use.
 from repro.core.registry import PolicySpec
 
 from .config import DEFAULT_INSTRUCTIONS, POLICY_NAMES, SimulationConfig, make_policy
-from .engine import SimEngine, default_engine, execute_run
+from .engine import SimEngine, default_engine, execute_run, execute_run_fast
+from .fastpath import CompiledTrace, clear_trace_cache, compile_workload
 from .metrics import RunResult, arithmetic_mean, geometric_mean, slowdown
 from .runner import clear_run_cache, run_simulation
 from .store import ResultStore
@@ -39,6 +40,10 @@ __all__ = [
     "SimEngine",
     "default_engine",
     "execute_run",
+    "execute_run_fast",
+    "CompiledTrace",
+    "compile_workload",
+    "clear_trace_cache",
     "RunResult",
     "arithmetic_mean",
     "geometric_mean",

@@ -26,6 +26,7 @@ from repro.core.gated import DEFAULT_THRESHOLD
 from repro.core.policies import BasePrechargePolicy
 from repro.core.registry import PolicySpec, get_policy_info, policy_names
 from repro.cpu.pipeline import PipelineConfig
+from repro.workloads.scenarios import workload_identity
 
 __all__ = [
     "SimulationConfig",
@@ -220,7 +221,9 @@ class SimulationConfig:
         Derived from the canonical policy specs, so two configs that
         build identical policies (e.g. with and without an explicit
         default threshold) share a key, and newly registered policies
-        participate with no driver changes.
+        participate with no driver changes.  ``trace:`` benchmarks fold
+        the trace file's identity (path, mtime, size) in, so a
+        re-recorded file is never served a stale memoised result.
         """
         return (
             self.benchmark,
@@ -231,6 +234,7 @@ class SimulationConfig:
             self.n_instructions,
             self.seed,
             self.pipeline,
+            workload_identity(self.benchmark),
         )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -35,10 +35,11 @@ from repro.workloads.characteristics import benchmark_names
 from repro.workloads.synthetic import make_workload
 
 from .config import SimulationConfig
+from .fastpath import execute_run_fast
 from .metrics import RunResult
 from .store import ResultStore
 
-__all__ = ["SimEngine", "default_engine", "execute_run"]
+__all__ = ["SimEngine", "default_engine", "execute_run", "execute_run_fast"]
 
 
 def execute_run(config: SimulationConfig) -> RunResult:
@@ -116,6 +117,11 @@ class SimEngine:
             :meth:`sweep`; ``1`` means serial in-process execution.
         store: Optional on-disk result store (or a directory path for
             one), consulted before computing and updated after.
+        fast: Execute runs on the batched fast-path kernel
+            (:func:`repro.sim.fastpath.execute_run_fast`) instead of the
+            reference cycle loop.  Results are bit-identical (the
+            differential suite enforces this), so fast and reference
+            runs share cache entries and store records.
     """
 
     def __init__(
@@ -123,6 +129,7 @@ class SimEngine:
         max_cached_runs: int = 1024,
         workers: int = 1,
         store: Optional[Union[ResultStore, str, Path]] = None,
+        fast: bool = False,
     ) -> None:
         if max_cached_runs < 1:
             raise ValueError("max_cached_runs must be at least 1")
@@ -130,6 +137,7 @@ class SimEngine:
             raise ValueError("workers must be at least 1")
         self.max_cached_runs = max_cached_runs
         self.workers = workers
+        self.fast = fast
         self.store = ResultStore(store) if isinstance(store, (str, Path)) else store
         self._cache: "OrderedDict[Tuple, RunResult]" = OrderedDict()
         self._lock = threading.Lock()
@@ -184,26 +192,34 @@ class SimEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, config: SimulationConfig, use_cache: bool = True) -> RunResult:
+    def run(
+        self,
+        config: SimulationConfig,
+        use_cache: bool = True,
+        fast: Optional[bool] = None,
+    ) -> RunResult:
         """Simulate one configuration, reusing cached results when allowed."""
-        return self.run_many([config], workers=1, use_cache=use_cache)[0]
+        return self.run_many([config], workers=1, use_cache=use_cache, fast=fast)[0]
 
     def run_many(
         self,
         configs: Sequence[SimulationConfig],
         workers: Optional[int] = None,
         use_cache: bool = True,
+        fast: Optional[bool] = None,
     ) -> List[RunResult]:
         """Simulate many configurations, in parallel when ``workers > 1``.
 
         Results come back in input order and are identical to running
         each configuration serially (runs are independent and fully
         seeded).  Configurations already in the cache or store are not
-        re-simulated, and duplicates are simulated once.
+        re-simulated, and duplicates are simulated once.  ``fast``
+        overrides the engine's default execution path for this call.
         """
         workers = self.workers if workers is None else workers
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        runner = execute_run_fast if (self.fast if fast is None else fast) else execute_run
         configs = list(configs)
         results: List[Optional[RunResult]] = [None] * len(configs)
 
@@ -233,9 +249,9 @@ class SimEngine:
                     max_workers=min(workers, len(todo)),
                     mp_context=_worker_context(),
                 ) as executor:
-                    computed = list(executor.map(execute_run, todo_configs))
+                    computed = list(executor.map(runner, todo_configs))
             else:
-                computed = [execute_run(config) for config in todo_configs]
+                computed = [runner(config) for config in todo_configs]
             for (key, config), result in zip(todo, computed):
                 self._bump("computed")
                 if use_cache:
@@ -251,6 +267,7 @@ class SimEngine:
         base_config: SimulationConfig,
         benchmarks: Optional[Sequence[str]] = None,
         workers: Optional[int] = None,
+        fast: Optional[bool] = None,
     ) -> Dict[str, RunResult]:
         """Run ``base_config`` for every benchmark in ``benchmarks``.
 
@@ -260,13 +277,14 @@ class SimEngine:
                 other field — including ones added later — carries over).
             benchmarks: Benchmark names; defaults to all sixteen.
             workers: Process count; defaults to the engine's.
+            fast: Execution-path override for this call.
 
         Returns:
             Mapping from benchmark name to its :class:`RunResult`.
         """
         names = list(benchmarks) if benchmarks is not None else benchmark_names()
         configs = [replace(base_config, benchmark=name) for name in names]
-        results = self.run_many(configs, workers=workers)
+        results = self.run_many(configs, workers=workers, fast=fast)
         return dict(zip(names, results))
 
     def select_thresholds(self, benchmark: str, base_config: SimulationConfig, **kwargs):

@@ -10,6 +10,8 @@ on-disk persistence or parallel fan-out should construct its own
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .config import SimulationConfig
 from .engine import default_engine
 from .metrics import RunResult
@@ -17,14 +19,20 @@ from .metrics import RunResult
 __all__ = ["run_simulation", "clear_run_cache"]
 
 
-def run_simulation(config: SimulationConfig, use_cache: bool = True) -> RunResult:
+def run_simulation(
+    config: SimulationConfig,
+    use_cache: bool = True,
+    fast: Optional[bool] = None,
+) -> RunResult:
     """Simulate one configuration on the default engine.
 
     Args:
         config: The full run description.
         use_cache: Reuse a previous identical run when available.
+        fast: Execute on the batched fast-path kernel (bit-identical
+            results); ``None`` keeps the default engine's setting.
     """
-    return default_engine().run(config, use_cache=use_cache)
+    return default_engine().run(config, use_cache=use_cache, fast=fast)
 
 
 def clear_run_cache() -> None:

@@ -21,6 +21,8 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro.workloads.scenarios import workload_identity
+
 from .config import SimulationConfig
 from .metrics import RunResult
 
@@ -37,10 +39,18 @@ class ResultStore:
     # ------------------------------------------------------------------
     @staticmethod
     def key_for(config: SimulationConfig) -> str:
-        """Stable digest identifying one configuration."""
+        """Stable digest identifying one configuration.
+
+        ``trace:`` benchmarks fold the trace file's identity in (plain
+        benchmark digests are unchanged), so re-recording a file never
+        resumes from a stale stored result.
+        """
         canonical = dict(config.to_dict())
         canonical["dcache"] = config.dcache.canonical().to_dict()
         canonical["icache"] = config.icache.canonical().to_dict()
+        identity = workload_identity(config.benchmark)
+        if identity is not None:
+            canonical["workload_identity"] = list(identity)
         payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
         return sha256(payload.encode("utf-8")).hexdigest()[:32]
 

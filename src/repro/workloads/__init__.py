@@ -18,8 +18,22 @@ from .characteristics import (
 )
 from .generators import CodeWalker, HotColdRegion, PointerChase, StridedStream
 from .olden import make_olden_workload, olden_names
+from .scenarios import (
+    MultiprogrammedWorkload,
+    PhaseShiftingWorkload,
+    resolve_workload,
+    validate_workload_name,
+    workload_identity,
+)
 from .spec2000 import make_spec2000_workload, spec2000_names
-from .synthetic import SyntheticWorkload, make_workload
+from .synthetic import SyntheticWorkload, WorkloadBase, make_workload
+from .tracefile import (
+    TraceFileWorkload,
+    read_trace,
+    read_trace_meta,
+    record_benchmark,
+    write_trace,
+)
 from .trace import (
     EXECUTION_LATENCY,
     MicroOp,
@@ -47,7 +61,18 @@ __all__ = [
     "make_spec2000_workload",
     "spec2000_names",
     "SyntheticWorkload",
+    "WorkloadBase",
     "make_workload",
+    "MultiprogrammedWorkload",
+    "PhaseShiftingWorkload",
+    "resolve_workload",
+    "validate_workload_name",
+    "workload_identity",
+    "TraceFileWorkload",
+    "read_trace",
+    "read_trace_meta",
+    "record_benchmark",
+    "write_trace",
     "EXECUTION_LATENCY",
     "MicroOp",
     "OP_ALU",

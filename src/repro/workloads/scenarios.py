@@ -1,0 +1,233 @@
+"""Composite scenario workloads.
+
+Two scenario families extend the sixteen single-program benchmarks, both
+addressable anywhere a benchmark name is accepted (``SimulationConfig``,
+``repro run/sweep --benchmark``, the fast path, trace recording):
+
+* ``mix:A+B[+C...][@quantum]`` — **multiprogrammed interleave**: the
+  named programs time-share the core in round-robin quanta (default
+  :data:`DEFAULT_MIX_QUANTUM` micro-ops), as under a preemptive OS
+  scheduler.  Each program runs in its own address space (a disjoint
+  2\\ :sup:`40`-byte slab) and in a statically partitioned slice of the
+  architectural register file, so programs contend for cache subarrays
+  and predictor entries — the interesting part — without fabricating
+  cross-program data dependences.
+* ``phases:A+B[+C...][@quantum]`` — **phase-shifting program**: one
+  program whose execution alternates between the behaviour profiles of
+  the named benchmarks every quantum (default
+  :data:`DEFAULT_PHASE_QUANTUM`), sharing one address space.  This
+  stresses decay-style policies with hot-subarray sets that move much
+  faster than any single benchmark's natural phase length.
+
+``trace:PATH`` resolves a recorded
+:class:`~repro.workloads.tracefile.TraceFileWorkload` through the same
+hook.  All three families compose: a ``mix:`` of two benchmarks can be
+recorded to a trace file and replayed, byte-identically, later.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .characteristics import get_benchmark
+from .synthetic import N_REGISTERS, SyntheticWorkload, WorkloadBase
+from .trace import MicroOp
+
+__all__ = [
+    "DEFAULT_MIX_QUANTUM",
+    "DEFAULT_PHASE_QUANTUM",
+    "MultiprogrammedWorkload",
+    "PhaseShiftingWorkload",
+    "resolve_workload",
+    "validate_workload_name",
+    "workload_identity",
+]
+
+#: Default context-switch quantum (micro-ops) for ``mix:`` scenarios.
+DEFAULT_MIX_QUANTUM = 2000
+
+#: Default phase length (micro-ops) for ``phases:`` scenarios.
+DEFAULT_PHASE_QUANTUM = 1500
+
+#: Address-space slab assigned to each program of a ``mix:`` scenario.
+_ADDRESS_SPACE_BYTES = 1 << 40
+
+
+def _child_workloads(names: Sequence[str], seed: int) -> List[SyntheticWorkload]:
+    # Decorrelate the seeds so "mix:gcc+gcc" interleaves two *different*
+    # dynamic instances of the same static program.
+    return [
+        SyntheticWorkload(get_benchmark(name), seed=seed + 101 * index)
+        for index, name in enumerate(names)
+    ]
+
+
+class MultiprogrammedWorkload(WorkloadBase):
+    """Round-robin multiprogrammed interleave of several benchmarks."""
+
+    def __init__(self, names: Sequence[str], quantum: int = DEFAULT_MIX_QUANTUM,
+                 seed: int = 1) -> None:
+        if len(names) < 2:
+            raise ValueError("mix: scenarios need at least two programs")
+        if quantum < 1:
+            raise ValueError("context-switch quantum must be positive")
+        self.names = tuple(names)
+        self.quantum = quantum
+        self.seed = seed
+        self.children = _child_workloads(names, seed)
+        self.name = f"mix:{'+'.join(self.names)}@{quantum}"
+        self._register_slice = max(1, N_REGISTERS // len(self.children))
+
+    def _translate(self, uop: MicroOp, index: int) -> MicroOp:
+        offset = index * _ADDRESS_SPACE_BYTES
+        reg_slice = self._register_slice
+        reg_base = (index * reg_slice) % N_REGISTERS
+
+        def reg(value: Optional[int]) -> Optional[int]:
+            if value is None:
+                return None
+            return reg_base + (value % reg_slice)
+
+        return MicroOp(
+            op_type=uop.op_type,
+            pc=uop.pc + offset,
+            dest=reg(uop.dest),
+            src1=reg(uop.src1),
+            src2=reg(uop.src2),
+            address=None if uop.address is None else uop.address + offset,
+            base_address=(
+                None if uop.base_address is None else uop.base_address + offset
+            ),
+            taken=uop.taken,
+            target=None if uop.target is None else uop.target + offset,
+        )
+
+    def instructions(self) -> Iterator[MicroOp]:
+        """Infinite interleaved micro-op stream."""
+        streams = [child.instructions() for child in self.children]
+        quantum = self.quantum
+        while True:
+            for index, stream in enumerate(streams):
+                for _ in range(quantum):
+                    yield self._translate(next(stream), index)
+
+
+class PhaseShiftingWorkload(WorkloadBase):
+    """One program alternating between several benchmarks' behaviours."""
+
+    def __init__(self, names: Sequence[str], quantum: int = DEFAULT_PHASE_QUANTUM,
+                 seed: int = 1) -> None:
+        if len(names) < 2:
+            raise ValueError("phases: scenarios need at least two profiles")
+        if quantum < 1:
+            raise ValueError("phase quantum must be positive")
+        self.names = tuple(names)
+        self.quantum = quantum
+        self.seed = seed
+        self.children = _child_workloads(names, seed)
+        self.name = f"phases:{'+'.join(self.names)}@{quantum}"
+
+    def instructions(self) -> Iterator[MicroOp]:
+        """Infinite phase-alternating micro-op stream (shared address space)."""
+        streams = [child.instructions() for child in self.children]
+        quantum = self.quantum
+        while True:
+            for stream in streams:
+                for _ in range(quantum):
+                    yield next(stream)
+
+
+def _parse_programs(rest: str, family: str, default_quantum: int):
+    spec, _, quantum_text = rest.partition("@")
+    names = [name.strip() for name in spec.split("+") if name.strip()]
+    if len(names) < 2:
+        raise ValueError(
+            f"{family}: scenarios take at least two '+'-separated benchmarks "
+            f"(got {rest!r})"
+        )
+    if quantum_text:
+        try:
+            quantum = int(quantum_text)
+        except ValueError:
+            raise ValueError(
+                f"{family}: quantum must be an integer (got {quantum_text!r})"
+            ) from None
+    else:
+        quantum = default_quantum
+    return names, quantum
+
+
+def workload_identity(name: str) -> Optional[Tuple]:
+    """File-identity component of a ``trace:`` name; ``None`` otherwise.
+
+    Synthetic and scenario names fully determine their stream, but a
+    ``trace:`` name points at mutable file contents.  Every layer that
+    memoises by workload name (the engine's result cache, the on-disk
+    result store, the fast path's compiled-trace cache) folds this
+    identity — resolved path, mtime, size — into its key, so
+    re-recording a trace file invalidates instead of serving stale
+    results.  A missing file yields ``None``; the error surfaces when
+    the workload is actually built.
+    """
+    prefix, sep, rest = name.partition(":")
+    if not sep or prefix.strip().lower() != "trace":
+        return None
+    path = Path(rest)
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return ("trace", str(path.resolve()), stat.st_mtime_ns, stat.st_size)
+
+
+def validate_workload_name(name: str) -> None:
+    """Check a workload name without building the workload.
+
+    The cheap counterpart of :func:`resolve_workload` for input
+    validation (the CLI calls this once per name, then the run builds
+    the workload once): scenario specs are parsed and their child
+    benchmarks looked up, trace paths are only checked for existence.
+
+    Raises:
+        KeyError: for an unknown benchmark name.
+        ValueError: for a malformed scenario spec or missing trace file.
+    """
+    prefix, sep, rest = name.partition(":")
+    family = prefix.strip().lower() if sep else None
+    if family == "trace":
+        if not Path(rest).exists():
+            raise ValueError(f"trace file not found: {rest}")
+        return
+    if family == "mix":
+        names, _ = _parse_programs(rest, "mix", DEFAULT_MIX_QUANTUM)
+    elif family == "phases":
+        names, _ = _parse_programs(rest, "phases", DEFAULT_PHASE_QUANTUM)
+    else:
+        names = [name]
+    for child in names:
+        get_benchmark(child)
+
+
+def resolve_workload(name: str, seed: int = 1):
+    """Resolve a scenario or trace name; ``None`` for plain benchmarks.
+
+    Raises:
+        ValueError: for a malformed scenario spec or unreadable trace.
+        KeyError: for an unknown benchmark inside a scenario.
+    """
+    prefix, sep, rest = name.partition(":")
+    if not sep:
+        return None
+    family = prefix.strip().lower()
+    if family == "trace":
+        from .tracefile import TraceFileWorkload
+
+        return TraceFileWorkload(rest)
+    if family == "mix":
+        names, quantum = _parse_programs(rest, "mix", DEFAULT_MIX_QUANTUM)
+        return MultiprogrammedWorkload(names, quantum=quantum, seed=seed)
+    if family == "phases":
+        names, quantum = _parse_programs(rest, "phases", DEFAULT_PHASE_QUANTUM)
+        return PhaseShiftingWorkload(names, quantum=quantum, seed=seed)
+    return None

@@ -35,7 +35,7 @@ from .trace import (
     OP_STORE,
 )
 
-__all__ = ["SyntheticWorkload", "make_workload"]
+__all__ = ["WorkloadBase", "SyntheticWorkload", "make_workload"]
 
 #: Architectural register count (Table 2: 128 physical registers; we use
 #: a 64-entry architectural space and assume ideal renaming).
@@ -70,7 +70,28 @@ _RECENT_WINDOW = 8
 _SMALL_DISPLACEMENT_LIMIT = 256
 
 
-class SyntheticWorkload:
+class WorkloadBase:
+    """The workload protocol every stream source implements.
+
+    A workload provides ``instructions()`` (a deterministic micro-op
+    iterator) and ``generate()``; synthetic benchmarks, scenario
+    composites and trace-file replays all share this base so consumers
+    (the two simulation paths, the engine-bypassing experiments, trace
+    recording) see one contract.
+    """
+
+    def instructions(self) -> Iterator[MicroOp]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def generate(self, n_instructions: int) -> List[MicroOp]:
+        """Materialise the next ``n_instructions`` micro-ops as a list."""
+        if n_instructions < 0:
+            raise ValueError("n_instructions must be non-negative")
+        stream = self.instructions()
+        return [next(stream) for _ in range(n_instructions)]
+
+
+class SyntheticWorkload(WorkloadBase):
     """Deterministic micro-op stream for one synthetic benchmark."""
 
     def __init__(self, characteristics: BenchmarkCharacteristics, seed: int = 1) -> None:
@@ -356,14 +377,19 @@ class SyntheticWorkload:
                     src2=self._pick_source(),
                 )
 
-    def generate(self, n_instructions: int) -> List[MicroOp]:
-        """Materialise the next ``n_instructions`` micro-ops as a list."""
-        if n_instructions < 0:
-            raise ValueError("n_instructions must be non-negative")
-        stream = self.instructions()
-        return [next(stream) for _ in range(n_instructions)]
+def make_workload(name: str, seed: int = 1):
+    """Build the workload behind a benchmark, scenario or trace name.
 
+    Plain names resolve to one of the paper's sixteen synthetic
+    benchmarks; prefixed names resolve through
+    :func:`repro.workloads.scenarios.resolve_workload` —
+    ``mix:gcc+mcf@2000`` (multiprogrammed interleave),
+    ``phases:gcc+art`` (phase-shifting behaviour) and ``trace:PATH``
+    (recorded ``.trace.gz`` replay).
+    """
+    from .scenarios import resolve_workload  # local import: avoids a cycle
 
-def make_workload(name: str, seed: int = 1) -> SyntheticWorkload:
-    """Build the synthetic workload for one of the paper's sixteen benchmarks."""
+    scenario = resolve_workload(name, seed=seed)
+    if scenario is not None:
+        return scenario
     return SyntheticWorkload(get_benchmark(name), seed=seed)

@@ -1,0 +1,255 @@
+"""Streaming compressed micro-op trace files (``.trace.gz``).
+
+A trace file freezes a workload's :class:`~repro.workloads.trace.MicroOp`
+stream so it can be archived, shipped between machines, diffed, and
+replayed through either simulation path (``benchmark="trace:PATH"``).
+The format is built for streaming in both directions — recording never
+materialises the stream and replay never loads more than one buffer:
+
+* a magic line (:data:`MAGIC`) identifying format and version;
+* one JSON metadata line (benchmark name, seed, op count, free-form
+  extras) — readable with ``zcat file.trace.gz | head -2``;
+* fixed-width little-endian records, one per micro-op
+  (:data:`_RECORD`), ``-1`` encoding ``None`` for optional fields.
+
+Write → read round-trips are identity on the micro-op sequence (the
+property suite pins this), so a recorded benchmark replays bit-identical
+to the live generator that produced it.
+"""
+
+from __future__ import annotations
+
+import gzip
+import itertools
+import json
+import struct
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Union
+
+from .synthetic import WorkloadBase
+from .trace import MicroOp, OP_TYPES
+
+__all__ = [
+    "MAGIC",
+    "TRACE_SUFFIX",
+    "write_trace",
+    "read_trace",
+    "read_trace_meta",
+    "record_benchmark",
+    "TraceFileWorkload",
+]
+
+#: First line of every trace file (format magic + version).
+MAGIC = b"repro-trace v1\n"
+
+#: Conventional file suffix.
+TRACE_SUFFIX = ".trace.gz"
+
+#: One micro-op: kind u8, taken u8, dest/src1/src2 i32, pc/address/base/
+#: target i64; ``-1`` encodes ``None`` for the optional fields.
+_RECORD = struct.Struct("<BBiiiqqqq")
+
+#: Records packed per I/O buffer when writing/reading.
+_BATCH = 4096
+
+_KIND_CODE = {name: code for code, name in enumerate(OP_TYPES)}
+
+
+def _encode(uop: MicroOp) -> bytes:
+    return _RECORD.pack(
+        _KIND_CODE[uop.op_type],
+        1 if uop.taken else 0,
+        -1 if uop.dest is None else uop.dest,
+        -1 if uop.src1 is None else uop.src1,
+        -1 if uop.src2 is None else uop.src2,
+        uop.pc,
+        -1 if uop.address is None else uop.address,
+        -1 if uop.base_address is None else uop.base_address,
+        -1 if uop.target is None else uop.target,
+    )
+
+
+def _decode(fields: Tuple[int, ...]) -> MicroOp:
+    kind, taken, dest, src1, src2, pc, address, base, target = fields
+    return MicroOp(
+        op_type=OP_TYPES[kind],
+        pc=pc,
+        dest=None if dest < 0 else dest,
+        src1=None if src1 < 0 else src1,
+        src2=None if src2 < 0 else src2,
+        address=None if address < 0 else address,
+        base_address=None if base < 0 else base,
+        taken=bool(taken),
+        target=None if target < 0 else target,
+    )
+
+
+def write_trace(
+    path: Union[str, Path],
+    uops: Iterable[MicroOp],
+    meta: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Stream ``uops`` into a compressed trace file.
+
+    Args:
+        path: Destination file (conventionally ``*.trace.gz``).
+        meta: JSON-safe metadata stored in the header (``count`` is
+            filled in only when already known to the caller; replay does
+            not need it — records run to end-of-file).
+
+    Returns:
+        The number of micro-ops written.
+    """
+    header = dict(meta or {})
+    count = 0
+    with gzip.open(str(path), "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+        batch = []
+        for uop in uops:
+            batch.append(_encode(uop))
+            count += 1
+            if len(batch) >= _BATCH:
+                handle.write(b"".join(batch))
+                batch.clear()
+        if batch:
+            handle.write(b"".join(batch))
+    return count
+
+
+def _open_and_check(path: Union[str, Path]) -> Tuple[gzip.GzipFile, Dict[str, Any]]:
+    try:
+        handle = gzip.open(str(path), "rb")
+    except OSError as error:
+        # Missing files, directories, permissions: user input, not a bug.
+        raise ValueError(f"{path}: cannot open trace file: {error}") from None
+    try:
+        try:
+            magic = handle.readline()
+        except (EOFError, gzip.BadGzipFile) as error:
+            raise ValueError(f"{path}: not a gzip file ({error})") from None
+        if magic != MAGIC:
+            raise ValueError(f"{path}: not a repro trace file (bad magic {magic!r})")
+        meta_line = handle.readline()
+        try:
+            meta = json.loads(meta_line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"{path}: corrupt trace metadata: {error}") from None
+        if not isinstance(meta, dict):
+            raise ValueError(f"{path}: trace metadata must be a JSON object")
+        return handle, meta
+    except Exception:
+        handle.close()
+        raise
+
+
+def read_trace_meta(path: Union[str, Path]) -> Dict[str, Any]:
+    """The metadata header of a trace file (without reading the records)."""
+    handle, meta = _open_and_check(path)
+    handle.close()
+    return meta
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[MicroOp]:
+    """Stream the micro-ops of a trace file, one buffer at a time."""
+    handle, _meta = _open_and_check(path)
+    record_size = _RECORD.size
+    buffer_size = record_size * _BATCH
+    with handle:
+        leftover = b""
+        while True:
+            try:
+                chunk = handle.read(buffer_size)
+            except (EOFError, gzip.BadGzipFile, OSError) as error:
+                # A recording killed mid-write leaves a gzip stream with
+                # no end-of-stream marker; surface it like any other
+                # corrupt-file condition instead of crashing replay.
+                raise ValueError(f"{path}: corrupt trace file: {error}") from None
+            if not chunk:
+                break
+            if leftover:
+                chunk = leftover + chunk
+                leftover = b""
+            usable = len(chunk) - (len(chunk) % record_size)
+            if usable != len(chunk):
+                leftover = chunk[usable:]
+                chunk = chunk[:usable]
+            for fields in _RECORD.iter_unpack(chunk):
+                yield _decode(fields)
+        if leftover:
+            raise ValueError(f"{path}: truncated trace record at end of file")
+
+
+def record_benchmark(
+    path: Union[str, Path],
+    benchmark: str,
+    n_instructions: int,
+    seed: int = 1,
+) -> int:
+    """Record ``n_instructions`` micro-ops of a named workload to ``path``.
+
+    The recorded prefix replays identically through
+    ``benchmark="trace:PATH"`` (modulo the stream simply ending, which
+    drains the pipeline early if the simulation asks for more ops than
+    were recorded).
+    """
+    if n_instructions < 1:
+        raise ValueError("must record at least one micro-op")
+    from .synthetic import make_workload  # local import: avoids a cycle
+
+    workload = make_workload(benchmark, seed=seed)
+    meta = {
+        "benchmark": benchmark,
+        "seed": seed,
+        "count": n_instructions,
+    }
+    count = write_trace(
+        path, itertools.islice(workload.instructions(), n_instructions), meta=meta
+    )
+    if count < n_instructions:
+        # A finite source (a shorter trace: workload) ended early; the
+        # header's count would lie, so don't leave the partial file.
+        Path(path).unlink(missing_ok=True)
+        raise ValueError(
+            f"{benchmark!r} yielded only {count} micro-ops "
+            f"({n_instructions} requested)"
+        )
+    return count
+
+
+class TraceFileWorkload(WorkloadBase):
+    """A workload replayed from a recorded ``.trace.gz`` file.
+
+    Each ``instructions()`` call starts a fresh streaming read, so the
+    workload is reusable.  ``generate()`` overrides the base to reject
+    requests past the recorded prefix (a finite stream, unlike the
+    synthetic generators).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if not self.path.exists():
+            raise ValueError(f"trace file not found: {self.path}")
+        #: Header metadata (also validates magic/format eagerly).
+        self.meta = read_trace_meta(self.path)
+
+    @property
+    def name(self) -> str:
+        """The recorded benchmark's name, or the file stem."""
+        return str(self.meta.get("benchmark", self.path.name))
+
+    def instructions(self) -> Iterator[MicroOp]:
+        """Stream the recorded micro-ops."""
+        return read_trace(self.path)
+
+    def generate(self, n_instructions: int) -> list:
+        """Materialise the first ``n_instructions`` recorded micro-ops."""
+        if n_instructions < 0:
+            raise ValueError("n_instructions must be non-negative")
+        ops = list(itertools.islice(self.instructions(), n_instructions))
+        if len(ops) < n_instructions:
+            raise ValueError(
+                f"{self.path} holds only {len(ops)} micro-ops "
+                f"({n_instructions} requested)"
+            )
+        return ops

@@ -49,6 +49,30 @@ class TestDecayCounter:
             counter_energy_fraction(0)
 
 
+class TestGatedCounterBank:
+    def test_bank_matches_lazy_evaluation(self):
+        policy, _ = make_attached(GatedPrechargePolicy(threshold=100))
+        for subarray, cycle in [(0, 10), (1, 40), (0, 90), (2, 120)]:
+            policy.access(subarray, cycle)
+        for probe in (0, 50, 120, 189, 190, 250, 5_000):
+            bank = policy.counter_bank(probe)
+            expected = [
+                policy._is_precharged(index, probe)
+                for index in range(len(bank))
+            ]
+            assert [bank.is_hot(index) for index in range(len(bank))] == expected
+            assert policy.precharged_subarrays(probe) == sum(expected)
+
+    def test_bank_widens_for_large_thresholds(self):
+        policy, _ = make_attached(GatedPrechargePolicy(threshold=5_000))
+        policy.access(0, 0)
+        bank = policy.counter_bank(4_999)
+        assert bank.saturation_value >= 5_000
+        assert bank.is_hot(0)
+        assert policy.precharged_subarrays(4_999) == len(bank)
+        assert not policy.counter_bank(5_000).is_hot(0)
+
+
 class TestGatedPolicy:
     def test_hot_subarray_not_delayed(self):
         policy, _ = make_attached(GatedPrechargePolicy(threshold=100))

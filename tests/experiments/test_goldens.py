@@ -1,0 +1,49 @@
+"""Golden-result snapshots: every experiment matches its stored JSON.
+
+A failure here means the simulation model's numbers drifted.  If the
+drift is intentional (a model fix), regenerate with::
+
+    python -m repro regen-goldens
+
+and commit the updated ``tests/experiments/goldens/*.json`` alongside
+the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.goldens import compute_golden, write_goldens
+from repro.experiments.registry import experiment_names
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def test_every_experiment_has_a_golden() -> None:
+    stored = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert stored == set(experiment_names())
+
+
+@pytest.mark.parametrize("name", experiment_names())
+def test_experiment_matches_golden(name: str) -> None:
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    stored = json.loads(golden_path.read_text(encoding="utf-8"))
+    computed = json.loads(json.dumps(compute_golden(name)))
+    assert computed == stored, (
+        f"experiment {name!r} drifted from its golden snapshot; if this "
+        "change is intentional, run `python -m repro regen-goldens`. "
+        "(On non-glibc platforms, last-ulp libm differences can trip "
+        "this without any model change — see repro/experiments/goldens.py.)"
+    )
+
+
+def test_write_goldens_round_trips(tmp_path) -> None:
+    written = write_goldens(tmp_path)
+    assert {path.stem for path in written} == set(experiment_names())
+    for path in written:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["experiment"] == path.stem
+        assert "result" in payload and "formatted" in payload

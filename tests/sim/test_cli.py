@@ -97,6 +97,42 @@ class TestRunCommand:
         assert main(["experiment", "table1", "--workers", "0"]) == 2
         assert main(["sweep", "--workers", "0", "--instructions", "500"]) == 2
 
+    def test_trace_io_errors_fail_cleanly(self, capsys, tmp_path):
+        missing = str(tmp_path / "missing.trace.gz")
+        assert main(["trace", "info", missing]) == 2
+        assert main(["run", "--benchmark", f"trace:{missing}"]) == 2
+        not_gzip = tmp_path / "plain.trace.gz"
+        not_gzip.write_text("not a gzip stream")
+        assert main(["trace", "info", str(not_gzip)]) == 2
+        assert main(["run", "--benchmark", f"trace:{tmp_path}"]) == 2
+        unwritable = str(tmp_path / "no" / "such" / "dir" / "x.trace.gz")
+        assert main([
+            "trace", "record", "--benchmark", "gcc",
+            "--out", unwritable, "--instructions", "100",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "Traceback" not in err
+
+    def test_bad_scenario_specs_fail_cleanly(self, capsys):
+        assert main(["run", "--benchmark", "mix:gcc", "--instructions", "500"]) == 2
+        assert main(["run", "--benchmark", "mix:gcc+nope", "--instructions", "500"]) == 2
+        err = capsys.readouterr().err
+        assert "at least two" in err and "unknown benchmark" in err
+
+    def test_fast_and_reference_cli_json_are_identical(self, capsys):
+        status, reference = run_cli(
+            capsys, "run", "--benchmark", "gcc", "--dcache", "gated",
+            "--instructions", "1500", "--json",
+        )
+        assert status == 0
+        status, fast = run_cli(
+            capsys, "run", "--benchmark", "gcc", "--dcache", "gated",
+            "--instructions", "1500", "--json", "--fast",
+        )
+        assert status == 0
+        assert fast == reference
+
 
 class TestSweepCommand:
     def test_json_sweep(self, capsys):

@@ -1,0 +1,213 @@
+"""Differential equivalence: the fast path is bit-identical to the reference.
+
+The batched kernel (:mod:`repro.sim.fastpath`) is only allowed to exist
+because it changes *nothing*: for every configuration,
+``execute_run_fast(config).to_dict() == execute_run(config).to_dict()``
+exactly — integer cycle counts, float energy sums, gap lists, all of it.
+These tests pin that contract on a policy x benchmark x subarray-size
+grid plus the scenario and trace-replay workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import PolicySpec, policy_names
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimEngine, execute_run, execute_run_fast
+from repro.sim.fastpath import clear_trace_cache, compile_workload
+from repro.workloads.tracefile import record_benchmark
+
+#: Kept small: equivalence is binary, not asymptotic, so short runs that
+#: still exercise misses, replays and policy toggles are enough.
+_INSTRUCTIONS = 2500
+
+
+@pytest.fixture(autouse=True)
+def _fresh_traces():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+def assert_identical(config: SimulationConfig) -> None:
+    reference = execute_run(config)
+    fast = execute_run_fast(config)
+    assert fast.to_dict() == reference.to_dict()
+
+
+@pytest.mark.parametrize("policy", policy_names())
+@pytest.mark.parametrize("benchmark_name", ["gcc", "art", "health"])
+def test_policy_benchmark_grid(policy: str, benchmark_name: str) -> None:
+    assert_identical(
+        SimulationConfig(
+            benchmark=benchmark_name,
+            dcache=policy,
+            icache=policy,
+            n_instructions=_INSTRUCTIONS,
+        )
+    )
+
+
+@pytest.mark.parametrize("subarray_bytes", [256, 1024, 4096])
+@pytest.mark.parametrize("feature_size_nm", [180, 70])
+def test_subarray_and_node_grid(subarray_bytes: int, feature_size_nm: int) -> None:
+    assert_identical(
+        SimulationConfig(
+            benchmark="vortex",
+            dcache=PolicySpec("gated", {"threshold": 150}),
+            icache="gated",
+            subarray_bytes=subarray_bytes,
+            feature_size_nm=feature_size_nm,
+            n_instructions=_INSTRUCTIONS,
+        )
+    )
+
+
+def test_mixed_policies_and_seed() -> None:
+    assert_identical(
+        SimulationConfig(
+            benchmark="mcf",
+            dcache="gated-predecode",
+            icache="on-demand",
+            seed=7,
+            n_instructions=_INSTRUCTIONS,
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "scenario", ["mix:gcc+mcf@400", "phases:gcc+art@300"]
+)
+def test_scenario_workloads(scenario: str) -> None:
+    assert_identical(
+        SimulationConfig(
+            benchmark=scenario,
+            dcache="gated",
+            icache="gated",
+            n_instructions=_INSTRUCTIONS,
+        )
+    )
+
+
+def test_trace_replay_workload(tmp_path) -> None:
+    path = tmp_path / "gcc.trace.gz"
+    record_benchmark(path, "gcc", 4000, seed=3)
+    # More ops recorded than simulated: normal replay.
+    assert_identical(
+        SimulationConfig(
+            benchmark=f"trace:{path}",
+            dcache="gated",
+            icache="oracle",
+            seed=3,
+            n_instructions=_INSTRUCTIONS,
+        )
+    )
+
+
+def test_exhausted_trace_drains_identically(tmp_path) -> None:
+    # Fewer ops recorded than requested: both paths must drain the
+    # pipeline early the same way.
+    path = tmp_path / "short.trace.gz"
+    record_benchmark(path, "mesa", 800, seed=2)
+    config = SimulationConfig(
+        benchmark=f"trace:{path}",
+        dcache="gated",
+        icache="gated",
+        n_instructions=5000,
+    )
+    reference = execute_run(config)
+    fast = execute_run_fast(config)
+    assert fast.to_dict() == reference.to_dict()
+    assert reference.pipeline.committed_instructions < 5000
+
+
+def test_engine_cache_and_store_not_stale_after_rerecord(tmp_path) -> None:
+    # The engine memo and the on-disk store key trace: configs on file
+    # identity too, so a re-recorded path is recomputed, not resumed.
+    import os
+
+    path = tmp_path / "w.trace.gz"
+    record_benchmark(path, "gcc", 1500, seed=1)
+    config = SimulationConfig(benchmark=f"trace:{path}", n_instructions=1000)
+    engine = SimEngine(store=str(tmp_path / "store"))
+    first = engine.run(config)
+    record_benchmark(path, "art", 1500, seed=9)
+    stat = path.stat()
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+    second = engine.run(config)
+    assert second.to_dict() != first.to_dict()
+    # A fresh engine sharing only the store must also see the new file.
+    resumed = SimEngine(store=str(tmp_path / "store")).run(config)
+    assert resumed.to_dict() == second.to_dict()
+
+
+def test_rerecorded_trace_file_is_not_served_stale(tmp_path) -> None:
+    # The compiled-trace cache keys trace: names on file identity, so
+    # re-recording the same path must invalidate the cached columns.
+    import os
+
+    path = tmp_path / "w.trace.gz"
+    record_benchmark(path, "gcc", 1500, seed=1)
+    config = SimulationConfig(
+        benchmark=f"trace:{path}", n_instructions=1000
+    )
+    first = execute_run_fast(config)
+    record_benchmark(path, "art", 1500, seed=9)
+    # Defend against filesystems with coarse mtime granularity.
+    stat = path.stat()
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+    second = execute_run_fast(config)
+    assert second.to_dict() == execute_run(config).to_dict()
+    assert second.to_dict() != first.to_dict()
+
+
+def test_compiled_trace_matches_generator_stream() -> None:
+    import itertools
+
+    from repro.workloads.synthetic import make_workload
+
+    compiled = compile_workload("equake", seed=4)
+    assert compiled.ensure(999)
+    stream = make_workload("equake", seed=4).instructions()
+    for index, uop in enumerate(itertools.islice(stream, 1000)):
+        assert compiled.micro_op(index) == uop
+
+
+def test_engine_fast_flag_shares_cache_with_reference() -> None:
+    engine = SimEngine()
+    config = SimulationConfig(benchmark="gcc", n_instructions=1200)
+    reference = engine.run(config, fast=False)
+    assert engine.stats["computed"] == 1
+    fast = engine.run(config, fast=True)
+    # Identical results mean identical cache keys: no recompute.
+    assert engine.stats["computed"] == 1
+    assert fast.to_dict() == reference.to_dict()
+
+
+def test_fast_engine_sweep_matches_reference_sweep() -> None:
+    base = SimulationConfig(
+        benchmark="gcc", dcache="gated", icache="gated", n_instructions=1200
+    )
+    names = ["gcc", "ammp", "treeadd"]
+    reference = SimEngine().sweep(base, benchmarks=names)
+    fast = SimEngine(fast=True).sweep(base, benchmarks=names)
+    for name in names:
+        assert fast[name].to_dict() == reference[name].to_dict()
+
+
+def test_livelock_bound_raises_identically() -> None:
+    from dataclasses import replace
+
+    from repro.cpu.pipeline import PipelineConfig
+
+    config = SimulationConfig(
+        benchmark="art",
+        n_instructions=200,
+        pipeline=PipelineConfig(max_cycles_per_instruction=1),
+    )
+    with pytest.raises(RuntimeError) as reference_error:
+        execute_run(config)
+    with pytest.raises(RuntimeError) as fast_error:
+        execute_run_fast(config)
+    assert str(reference_error.value) == str(fast_error.value)

@@ -1,0 +1,146 @@
+"""Trace file format: streaming write/read, metadata, error handling."""
+
+from __future__ import annotations
+
+import gzip
+import itertools
+
+import pytest
+
+from repro.workloads.synthetic import make_workload
+from repro.workloads.trace import MicroOp, OP_ALU, OP_BRANCH, OP_LOAD
+from repro.workloads.tracefile import (
+    MAGIC,
+    TraceFileWorkload,
+    read_trace,
+    read_trace_meta,
+    record_benchmark,
+    write_trace,
+)
+
+
+def test_round_trip_identity(tmp_path) -> None:
+    path = tmp_path / "w.trace.gz"
+    ops = list(itertools.islice(make_workload("gcc", seed=5).instructions(), 2000))
+    assert write_trace(path, ops, meta={"benchmark": "gcc", "seed": 5}) == 2000
+    assert list(read_trace(path)) == ops
+
+
+def test_metadata_header(tmp_path) -> None:
+    path = tmp_path / "w.trace.gz"
+    write_trace(path, [], meta={"benchmark": "gcc", "note": "empty"})
+    meta = read_trace_meta(path)
+    assert meta == {"benchmark": "gcc", "note": "empty"}
+    assert list(read_trace(path)) == []
+
+
+def test_record_benchmark_matches_generator(tmp_path) -> None:
+    path = tmp_path / "mcf.trace.gz"
+    assert record_benchmark(path, "mcf", 500, seed=2) == 500
+    expected = list(itertools.islice(make_workload("mcf", seed=2).instructions(), 500))
+    assert list(read_trace(path)) == expected
+    meta = read_trace_meta(path)
+    assert meta["benchmark"] == "mcf"
+    assert meta["seed"] == 2
+    assert meta["count"] == 500
+
+
+def test_record_from_short_finite_source_fails_cleanly(tmp_path) -> None:
+    # Re-recording a 100-op trace while asking for 500 ops must raise a
+    # clean ValueError (not PEP-479 RuntimeError) and leave no partial
+    # file whose header count lies.
+    short = tmp_path / "short.trace.gz"
+    record_benchmark(short, "gcc", 100)
+    target = tmp_path / "longer.trace.gz"
+    with pytest.raises(ValueError, match="yielded only 100"):
+        record_benchmark(target, f"trace:{short}", 500)
+    assert not target.exists()
+
+
+def test_optional_fields_survive(tmp_path) -> None:
+    path = tmp_path / "ops.trace.gz"
+    ops = [
+        MicroOp(op_type=OP_ALU, pc=4, dest=0, src1=None, src2=None),
+        MicroOp(op_type=OP_LOAD, pc=8, dest=3, src1=1, address=0x1234, base_address=0x1230),
+        MicroOp(op_type=OP_BRANCH, pc=12, src1=2, taken=True, target=64),
+        MicroOp(op_type=OP_BRANCH, pc=16, taken=False, target=None),
+    ]
+    write_trace(path, ops)
+    assert list(read_trace(path)) == ops
+
+
+def test_workload_wrapper_is_reusable(tmp_path) -> None:
+    path = tmp_path / "gcc.trace.gz"
+    record_benchmark(path, "gcc", 300)
+    workload = TraceFileWorkload(path)
+    assert workload.name == "gcc"
+    first = list(workload.instructions())
+    second = list(workload.instructions())
+    assert first == second
+    assert len(first) == 300
+
+
+def test_trace_workload_generate(tmp_path) -> None:
+    path = tmp_path / "gcc.trace.gz"
+    record_benchmark(path, "gcc", 300)
+    workload = TraceFileWorkload(path)
+    assert workload.generate(200) == list(workload.instructions())[:200]
+    with pytest.raises(ValueError, match="holds only 300"):
+        workload.generate(301)
+
+
+def test_missing_file_raises_value_error(tmp_path) -> None:
+    with pytest.raises(ValueError, match="not found"):
+        TraceFileWorkload(tmp_path / "nope.trace.gz")
+
+
+def test_non_gzip_file_raises_value_error(tmp_path) -> None:
+    path = tmp_path / "plain.trace.gz"
+    path.write_text("just text, no gzip")
+    with pytest.raises(ValueError, match="not a gzip file"):
+        read_trace_meta(path)
+
+
+def test_bad_magic_raises_value_error(tmp_path) -> None:
+    path = tmp_path / "bad.trace.gz"
+    with gzip.open(path, "wb") as handle:
+        handle.write(b"something else entirely\n")
+    with pytest.raises(ValueError, match="bad magic"):
+        read_trace_meta(path)
+
+
+def test_truncated_record_raises_value_error(tmp_path) -> None:
+    path = tmp_path / "trunc.trace.gz"
+    ops = [MicroOp(op_type=OP_ALU, pc=4, dest=1)]
+    write_trace(path, ops, meta={})
+    with gzip.open(path, "rb") as handle:
+        payload = handle.read()
+    with gzip.open(path, "wb") as handle:
+        handle.write(payload[:-3])
+    with pytest.raises(ValueError, match="truncated"):
+        list(read_trace(path))
+
+
+def test_truncated_gzip_stream_raises_value_error(tmp_path) -> None:
+    # A recording killed mid-write leaves a gzip stream without its
+    # end-of-stream marker; replay must not crash with a raw EOFError.
+    path = tmp_path / "killed.trace.gz"
+    record_benchmark(path, "gcc", 400)
+    payload = path.read_bytes()
+    path.write_bytes(payload[: len(payload) // 2])
+    with pytest.raises(ValueError):
+        list(read_trace(path))
+
+
+def test_directory_path_raises_value_error(tmp_path) -> None:
+    with pytest.raises(ValueError, match="cannot open"):
+        read_trace_meta(tmp_path)
+
+
+def test_corrupt_metadata_raises_value_error(tmp_path) -> None:
+    path = tmp_path / "meta.trace.gz"
+    with gzip.open(path, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(b"{not json\n")
+    with pytest.raises(ValueError, match="corrupt trace metadata"):
+        read_trace_meta(path)
