@@ -1,0 +1,167 @@
+"""PR-3 performance harness: fast-path speedup with the L2 stage enabled.
+
+PR 3 made the unified L2 a first-class, policy-controlled cache in both
+execution paths (plus dirty-eviction writeback propagation).  This
+harness shows the batched fast path keeps its >=4x advantage now that
+every run carries a policy-driven L2 — and that results stay
+bit-identical.  Writes ``BENCH_pr3.json`` at the repository root (or
+``--output``):
+
+* ``sweep_benchmarks`` — the 16-benchmark sweep with gated L1s *and* a
+  gated L2, timed end-to-end on the reference loop and on the fast path
+  with a cold compiled-trace cache, with a result-equality check;
+* ``l2_grid`` — a benchmark x L2-policy grid timed one run at a time
+  (L1s fixed at gated; the compiled-trace cache is cleared per
+  benchmark, so the first policy pays the compile and the rest show the
+  amortisation a real L2 sweep enjoys);
+* ``summary`` — geometric-mean / min / max speedups and the identity
+  verdict.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_pr3.py
+    PYTHONPATH=src python benchmarks/perf_pr3.py --instructions 8000 --output BENCH_pr3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.registry import PolicySpec
+from repro.experiments.l2sweep import L2_POLICY_MENU, _policy_label as _label
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimEngine, execute_run, execute_run_fast
+from repro.sim.fastpath import clear_trace_cache
+from repro.sim.metrics import geometric_mean
+from repro.workloads.characteristics import benchmark_names
+
+#: L2 policies timed in the per-run grid: the l2sweep experiment's axis,
+#: imported so the bench and the experiment can never drift apart.
+L2_GRID_POLICIES = L2_POLICY_MENU
+
+#: Benchmark subset for the per-run grid (the full sixteen are covered
+#: by the sweep entry; the grid shows per-L2-policy behaviour).
+GRID_BENCHMARKS = ("gcc", "mcf", "art", "equake")
+
+
+def _base_config(instructions: int) -> SimulationConfig:
+    return SimulationConfig(
+        benchmark="gcc",
+        dcache="gated",
+        icache="gated",
+        l2=PolicySpec("gated", {"threshold": 500}),
+        n_instructions=instructions,
+    )
+
+
+def _time_sweep(instructions: int) -> dict:
+    base = _base_config(instructions)
+    clear_trace_cache()
+    start = time.perf_counter()
+    reference = SimEngine().sweep(base)
+    reference_s = time.perf_counter() - start
+
+    clear_trace_cache()
+    start = time.perf_counter()
+    fast = SimEngine(fast=True).sweep(base)
+    fast_s = time.perf_counter() - start
+
+    identical = all(
+        fast[name].to_dict() == reference[name].to_dict() for name in reference
+    )
+    return {
+        "benchmarks": len(reference),
+        "l2_policy": _label(base.l2),
+        "reference_s": round(reference_s, 4),
+        "fast_s": round(fast_s, 4),
+        "speedup": round(reference_s / fast_s, 3),
+        "identical": identical,
+    }
+
+
+def _time_l2_grid(instructions: int) -> list:
+    rows = []
+    for benchmark in GRID_BENCHMARKS:
+        clear_trace_cache()
+        for l2_spec in L2_GRID_POLICIES:
+            config = SimulationConfig(
+                benchmark=benchmark,
+                dcache="gated",
+                icache="gated",
+                l2=l2_spec,
+                n_instructions=instructions,
+            )
+            start = time.perf_counter()
+            reference = execute_run(config)
+            reference_s = time.perf_counter() - start
+            start = time.perf_counter()
+            fast = execute_run_fast(config)
+            fast_s = time.perf_counter() - start
+            rows.append(
+                {
+                    "benchmark": benchmark,
+                    "l2_policy": _label(l2_spec),
+                    "reference_s": round(reference_s, 4),
+                    "fast_s": round(fast_s, 4),
+                    "speedup": round(reference_s / fast_s, 3),
+                    "identical": fast.to_dict() == reference.to_dict(),
+                }
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--instructions", type=int, default=30_000,
+        help="micro-ops per run (default: 30000, the experiments' default)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_pr3.json", metavar="PATH",
+        help="destination JSON (default: BENCH_pr3.json)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"timing sweep_benchmarks with gated L2 ({len(benchmark_names())} "
+          f"benchmarks, {args.instructions} ops each)...", flush=True)
+    sweep = _time_sweep(args.instructions)
+    print(f"  reference {sweep['reference_s']:.2f}s  fast {sweep['fast_s']:.2f}s  "
+          f"speedup {sweep['speedup']:.2f}x  identical={sweep['identical']}")
+
+    print("timing benchmark x L2-policy grid...", flush=True)
+    rows = _time_l2_grid(args.instructions)
+    for row in rows:
+        print(f"  {row['benchmark']:8s} L2={row['l2_policy']:16s} "
+              f"{row['reference_s']:7.3f}s -> {row['fast_s']:7.3f}s  "
+              f"{row['speedup']:5.2f}x")
+
+    speedups = [row["speedup"] for row in rows]
+    payload = {
+        "schema": "repro-bench/pr3",
+        "instructions": args.instructions,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sweep_benchmarks": sweep,
+        "l2_grid": rows,
+        "summary": {
+            "grid_geomean_speedup": round(geometric_mean(speedups), 3),
+            "grid_min_speedup": min(speedups),
+            "grid_max_speedup": max(speedups),
+            "sweep_speedup": sweep["speedup"],
+            "all_identical": sweep["identical"] and all(r["identical"] for r in rows),
+        },
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    if not payload["summary"]["all_identical"]:
+        print("ERROR: fast path diverged from the reference path")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

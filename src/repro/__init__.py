@@ -6,7 +6,8 @@ The package is organised bottom-up:
 * :mod:`repro.circuits` — technology scaling, SRAM/bitline/decoder circuit
   models (the CACTI + SPICE substitute);
 * :mod:`repro.cache` — behavioural caches with subarray-granularity
-  precharge control and energy accounting;
+  precharge control and energy accounting, on every level of the
+  hierarchy (L1I, L1D and the unified L2);
 * :mod:`repro.core` — the precharge-control policies (static pull-up,
   oracle, on-demand, **gated precharging** — the paper's contribution,
   with predecoding — and the resizable-cache baseline) plus the
@@ -32,6 +33,7 @@ Quick start::
         benchmark="gcc",
         dcache=PolicySpec("gated-predecode", {"threshold": 100}),
         icache=PolicySpec("gated", {"threshold": 100}),
+        l2=PolicySpec("gated", {"threshold": 500}),
         feature_size_nm=70,
     )
     result = engine.run(config)

@@ -17,6 +17,10 @@ class CacheLine:
         dirty: Whether the line has been written since it was filled.
         last_used_cycle: Cycle of the most recent access (for LRU).
         fill_cycle: Cycle at which the line was filled.
+        line_address: Original (pre-set-remapping) line address, kept so
+            a dirty eviction can write back to the address the program
+            actually used — the tag alone cannot reconstruct it when the
+            policy remaps set indices (resizable caches).
     """
 
     tag: int | None = None
@@ -24,20 +28,23 @@ class CacheLine:
     dirty: bool = False
     last_used_cycle: int = 0
     fill_cycle: int = 0
+    line_address: int | None = None
 
     def invalidate(self) -> None:
         """Drop the line's contents."""
         self.tag = None
         self.valid = False
         self.dirty = False
+        self.line_address = None
 
-    def fill(self, tag: int, cycle: int) -> None:
+    def fill(self, tag: int, cycle: int, line_address: int | None = None) -> None:
         """Install a new tag, marking the line valid and clean."""
         self.tag = tag
         self.valid = True
         self.dirty = False
         self.fill_cycle = cycle
         self.last_used_cycle = cycle
+        self.line_address = line_address
 
     def touch(self, cycle: int, write: bool = False) -> None:
         """Record a hit on the line."""

@@ -1,7 +1,8 @@
 """Set-associative cache with subarray-granularity precharge control.
 
 This is the behavioural cache model the paper's L1 instruction and data
-caches are simulated with.  Each access:
+caches — and, since the L2 became policy-controlled, the unified L2 —
+are simulated with.  Each access:
 
 1. maps the address to a set and to the subarray holding that set;
 2. consults the attached *precharge policy* — the policy answers with the
@@ -17,12 +18,12 @@ The cache never stores data values — only tags and metadata — because the
 paper's results depend only on hit/miss behaviour, timing and subarray
 residency.
 
-This class is the *reference* L1 model.  The batched fast path
-(:class:`repro.sim.fastpath._FastL1Cache`) re-implements the tag/LRU/MSHR
-logic of :meth:`SetAssociativeCache.access` over flat arrays and must
-stay bit-identical — change access semantics here and there together (the
-differential suite in ``tests/sim/test_fastpath_differential.py`` will
-catch a mismatch).
+This class is the *reference* cache model.  The batched fast path
+(:class:`repro.sim.fastpath._FastCache`) re-implements the tag/LRU/MSHR
+logic of :meth:`SetAssociativeCache.access` over flat arrays — for the
+L1s and the L2 alike — and must stay bit-identical — change access
+semantics here and there together (the differential suite in
+``tests/sim/test_fastpath_differential.py`` will catch a mismatch).
 """
 
 from __future__ import annotations
@@ -263,7 +264,26 @@ class SetAssociativeCache:
             if ways[victim].valid and ways[victim].dirty:
                 writeback = True
                 self.writebacks += 1
-            ways[victim].fill(tag, cycle)
+                if self.next_level is not None:
+                    # Drain the dirty victim to the next level.  The write
+                    # happens off the critical path (a writeback buffer),
+                    # so its latency is not added to this access — but it
+                    # does update the next level's contents, MSHRs and
+                    # precharge-policy state.  The victim's recorded line
+                    # address is used (not tag * n_sets + set_index): the
+                    # set index may have been remapped by the policy, in
+                    # which case the tag cannot reconstruct the address.
+                    victim_line = ways[victim].line_address
+                    if victim_line is None:
+                        victim_line = (
+                            ways[victim].tag * self.organization.n_sets + raw_set
+                        )
+                    self.next_level.access(
+                        victim_line << self.organization.offset_bits,
+                        cycle,
+                        write=True,
+                    )
+            ways[victim].fill(tag, cycle, line_address=self.line_address(address))
             ways[victim].touch(cycle, write=write)
 
         self.controller.note_outcome(hit, cycle)

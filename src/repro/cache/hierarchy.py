@@ -7,8 +7,14 @@ The base configuration (Table 2):
 * L2 unified: 512KB, 4-way, 12-cycle latency;
 * Memory: 100 cycles + 4 cycles per 8 bytes.
 
-Only the L1 caches carry a precharge-control policy (the paper's subject);
-the L2 is modelled as a conventional cache and memory as a flat latency.
+All three caches are first-class :class:`SetAssociativeCache` instances
+and can each carry a precharge-control policy.  The paper only studies
+L1 policies, but half of a Table 2 system's cache leakage sits in the
+512KB L2, so the L2 accepts the same :class:`PrechargeController`
+objects (with an L2-scaled subarray granularity — see
+:meth:`HierarchyConfig.l2_organization`); memory stays a flat latency.
+Dirty lines evicted from an L1 are written back into the L2 (and from
+the L2 into memory), so an L2 policy sees fill *and* writeback traffic.
 """
 
 from __future__ import annotations
@@ -55,7 +61,15 @@ class MainMemory:
 
 @dataclass(frozen=True)
 class HierarchyConfig:
-    """Sizing of the memory hierarchy (defaults follow Table 2)."""
+    """Sizing of the memory hierarchy (defaults follow Table 2).
+
+    Attributes:
+        subarray_bytes: L1 precharge-control granularity.
+        l2_subarray_bytes: L2 precharge-control granularity; ``None``
+            scales the L1 granularity up to the L2's larger banks
+            (at least 4KB — CACTI-style organisations of a 512KB array
+            use bigger subarrays than a 32KB one).
+    """
 
     feature_size_nm: int = 70
     line_bytes: int = 32
@@ -71,6 +85,7 @@ class HierarchyConfig:
     l2_assoc: int = 4
     l2_latency: int = 12
     subarray_bytes: int = 1024
+    l2_subarray_bytes: Optional[int] = None
     memory_latency: int = 100
     memory_cycles_per_8_bytes: int = 4
     mshr_entries: int = 8
@@ -89,11 +104,18 @@ class HierarchyConfig:
             self.l1d_assoc, self.subarray_bytes, ports=self.l1d_ports,
         )
 
+    @property
+    def effective_l2_subarray_bytes(self) -> int:
+        """The L2 precharge-control granularity actually used."""
+        if self.l2_subarray_bytes is not None:
+            return self.l2_subarray_bytes
+        return max(self.subarray_bytes, 4096)
+
     def l2_organization(self) -> CacheOrganization:
         """Physical organisation of the unified L2 cache."""
         return cache_organization(
             self.feature_size_nm, self.l2_bytes, self.line_bytes,
-            self.l2_assoc, max(self.subarray_bytes, 4096), ports=1,
+            self.l2_assoc, self.effective_l2_subarray_bytes, ports=1,
         )
 
 
@@ -105,7 +127,16 @@ class MemoryHierarchy:
         config: Optional[HierarchyConfig] = None,
         icache_controller: Optional[PrechargeController] = None,
         dcache_controller: Optional[PrechargeController] = None,
+        l2_controller: Optional[PrechargeController] = None,
     ) -> None:
+        """Wire the hierarchy together.
+
+        Args:
+            config: Sizing; defaults to Table 2.
+            icache_controller: L1I precharge policy (default static pull-up).
+            dcache_controller: L1D precharge policy (default static pull-up).
+            l2_controller: L2 precharge policy (default static pull-up).
+        """
         self.config = config or HierarchyConfig()
         self.memory = MainMemory(
             base_latency=self.config.memory_latency,
@@ -115,6 +146,7 @@ class MemoryHierarchy:
         self.l2 = SetAssociativeCache(
             organization=self.config.l2_organization(),
             name="L2",
+            controller=l2_controller,
             next_level=self.memory,
             mshr_entries=self.config.mshr_entries,
             base_latency=self.config.l2_latency,
@@ -152,8 +184,14 @@ class MemoryHierarchy:
         return self.l1d.access(address, cycle, write=True, base_address=base_address)
 
     def finalize(self, end_cycle: int) -> dict:
-        """Finalize both L1 caches; returns their energy breakdowns by name."""
+        """Finalize every cache level; returns energy breakdowns by name.
+
+        Returns:
+            ``{"L1I": ..., "L1D": ..., "L2": ...}`` mapping each level to
+            its :class:`~repro.cache.energy_accounting.EnergyBreakdown`.
+        """
         return {
             "L1I": self.l1i.finalize(end_cycle),
             "L1D": self.l1d.finalize(end_cycle),
+            "L2": self.l2.finalize(end_cycle),
         }

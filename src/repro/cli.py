@@ -3,10 +3,12 @@
 Reproduce the paper from a shell::
 
     python -m repro run --benchmark gcc --dcache gated-predecode:threshold=150
+    python -m repro run --benchmark gcc --dcache gated --l2-policy gated:threshold=500
     python -m repro sweep --dcache gated --workers 4 --benchmarks gcc,mesa,art
-    python -m repro sweep --dcache gated --fast
+    python -m repro sweep --dcache gated --l2-policy on-demand --fast
     python -m repro run --benchmark mix:gcc+mcf@2000 --fast
     python -m repro experiment figure8 --json --benchmarks gcc,mesa
+    python -m repro experiment l2sweep --fast
     python -m repro experiment --list
     python -m repro policies
     python -m repro trace record --benchmark gcc --out gcc.trace.gz
@@ -84,6 +86,7 @@ def _make_config(args: argparse.Namespace, benchmark: Optional[str] = None) -> S
         subarray_bytes=args.subarray_bytes,
         n_instructions=args.instructions,
         seed=args.seed,
+        l2=PolicySpec.parse(args.l2_policy),
     )
 
 
@@ -125,6 +128,16 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         default="static",
         metavar="SPEC",
         help='L1I policy spec, e.g. "gated:threshold=100" (default: static)',
+    )
+    parser.add_argument(
+        "--l2-policy",
+        "--l2",
+        default="static",
+        metavar="SPEC",
+        help=(
+            'unified-L2 policy spec, e.g. "gated:threshold=500" '
+            "(default: static — the conventional L2)"
+        ),
     )
     parser.add_argument("--feature-size", type=int, default=70, metavar="NM",
                         help="technology node in nm (default: 70)")
@@ -188,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--feature-size", type=int, default=None, metavar="NM",
         help="technology node in nm (default: experiment-specific, usually 70)",
+    )
+    experiment.add_argument(
+        "--l2-policy",
+        "--l2",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "force a unified-L2 policy spec onto every simulated "
+            "configuration (default: experiment-specific, usually static)"
+        ),
     )
     _add_engine_arguments(experiment)
 
@@ -270,10 +293,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.list or args.name is None:
         if args.json:
-            print(json.dumps(list(experiment_names())))
+            payload = {}
+            for name in experiment_names():
+                experiment = get_experiment(name)
+                payload[name] = {
+                    "title": experiment.title,
+                    "description": experiment.description,
+                    "uses_engine": experiment.uses_engine,
+                    "consumes": list(experiment.consumes),
+                }
+            print(json.dumps(payload))
         else:
             for name in experiment_names():
-                print(f"{name:12s} {get_experiment(name).title}")
+                experiment = get_experiment(name)
+                print(f"{name:12s} {experiment.title}")
+                if experiment.description:
+                    print(f"{'':12s}   {experiment.description}")
         return 0
     experiment = get_experiment(args.name)
     benchmarks = _parse_benchmarks(args.benchmarks)
@@ -283,7 +318,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         benchmarks=tuple(benchmarks) if benchmarks else None,
         n_instructions=args.instructions,
         feature_size_nm=args.feature_size,
+        l2_policy=args.l2_policy,
     )
+    if args.l2_policy is not None:
+        # Surface unknown policy names / parameters as clean exit-2
+        # errors before any simulation starts.
+        options.resolved_l2()
     if (args.workers != 1 or args.store) and not experiment.uses_engine:
         print(
             f"repro: note: experiment {experiment.name!r} does not run through "
@@ -294,11 +334,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         "benchmarks": options.benchmarks is not None,
         "n_instructions": options.n_instructions is not None,
         "feature_size_nm": options.feature_size_nm is not None,
+        "l2_policy": options.l2_policy is not None,
     }
     flag_names = {
         "benchmarks": "--benchmarks",
         "n_instructions": "--instructions",
         "feature_size_nm": "--feature-size",
+        "l2_policy": "--l2-policy",
     }
     ignored = [
         flag_names[field]
@@ -345,6 +387,13 @@ def _cmd_policies(args: argparse.Namespace) -> int:
             params = ", ".join(f"{k}={v!r}" for k, v in info.defaults.items()) or "-"
             print(f"{name:16s} {info.description}")
             print(f"{'':16s}   params: {params}")
+            if info.aliases:
+                print(f"{'':16s}   aliases: {', '.join(info.aliases)}")
+            if info.scheduler_extra_latency:
+                print(
+                    f"{'':16s}   scheduler extra latency: "
+                    f"{info.scheduler_extra_latency} cycle(s)"
+                )
     return 0
 
 

@@ -30,11 +30,15 @@ class CacheEnergyReport:
         icache: Energy breakdown of the L1 instruction cache.
         processor: Non-cache processor energy (Wattch-style), or ``None``
             when only cache-level reporting was requested.
+        l2: Energy breakdown of the unified L2 cache, or ``None`` for
+            reports produced before the L2 became policy-controlled
+            (old stored results round-trip with ``l2=None``).
     """
 
     dcache: EnergyBreakdown
     icache: EnergyBreakdown
     processor: Optional[ProcessorEnergyBreakdown] = None
+    l2: Optional[EnergyBreakdown] = None
 
     # ------------------------------------------------------------------
     @property
@@ -68,13 +72,46 @@ class CacheEnergyReport:
         return self.icache.overall_energy_savings
 
     @property
+    def l2_relative_discharge(self) -> float:
+        """L2 bitline discharge relative to blind static pull-up.
+
+        Returns ``1.0`` (the static baseline) when no L2 breakdown was
+        recorded, so ratios stay meaningful over legacy reports.
+        """
+        if self.l2 is None:
+            return 1.0
+        return self.l2.relative_discharge
+
+    @property
+    def l2_discharge_savings(self) -> float:
+        """Fraction of L2 bitline discharge eliminated (0 without an L2)."""
+        if self.l2 is None:
+            return 0.0
+        return self.l2.discharge_savings
+
+    @property
+    def l2_overall_savings(self) -> float:
+        """L2 total-energy savings relative to the static-pull-up cache."""
+        if self.l2 is None:
+            return 0.0
+        return self.l2.overall_energy_savings
+
+    @property
     def total_cache_energy_j(self) -> float:
         """Total L1 cache energy (both caches) under the policy."""
         return self.dcache.total_cache_energy_j + self.icache.total_cache_energy_j
 
+    @property
+    def total_hierarchy_energy_j(self) -> float:
+        """Total cache energy across every level (L1s plus the L2)."""
+        total = self.total_cache_energy_j
+        if self.l2 is not None:
+            total += self.l2.total_cache_energy_j
+        return total
+
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary of the headline metrics (for reports/tests)."""
-        return {
+        summary = {
             "dcache_relative_discharge": self.dcache_relative_discharge,
             "icache_relative_discharge": self.icache_relative_discharge,
             "dcache_precharged_fraction": self.dcache.precharged_fraction,
@@ -82,6 +119,11 @@ class CacheEnergyReport:
             "dcache_overall_savings": self.dcache_overall_savings,
             "icache_overall_savings": self.icache_overall_savings,
         }
+        if self.l2 is not None:
+            summary["l2_relative_discharge"] = self.l2_relative_discharge
+            summary["l2_precharged_fraction"] = self.l2.precharged_fraction
+            summary["l2_overall_savings"] = self.l2_overall_savings
+        return summary
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe representation (round-trips via :meth:`from_dict`)."""
@@ -89,18 +131,25 @@ class CacheEnergyReport:
             "dcache": self.dcache.to_dict(),
             "icache": self.icache.to_dict(),
             "processor": None if self.processor is None else self.processor.to_dict(),
+            "l2": None if self.l2 is None else self.l2.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CacheEnergyReport":
-        """Rebuild a report from :meth:`to_dict` output."""
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Payloads written before the L2 gained a breakdown (no ``"l2"``
+        key) load with ``l2=None``.
+        """
         processor = data.get("processor")
+        l2 = data.get("l2")
         return cls(
             dcache=EnergyBreakdown.from_dict(data["dcache"]),
             icache=EnergyBreakdown.from_dict(data["icache"]),
             processor=None
             if processor is None
             else ProcessorEnergyBreakdown.from_dict(processor),
+            l2=None if l2 is None else EnergyBreakdown.from_dict(l2),
         )
 
 
@@ -113,8 +162,9 @@ def combine_run_energy(
 
     Args:
         breakdowns: The dictionary returned by
-            :meth:`repro.cache.MemoryHierarchy.finalize` (keys ``"L1D"``
-            and ``"L1I"``).
+            :meth:`repro.cache.MemoryHierarchy.finalize` (keys ``"L1D"``,
+            ``"L1I"`` and — since the L2 became policy-controlled —
+            ``"L2"``; an absent ``"L2"`` yields a report without one).
         tech: Technology node the run was simulated in.
         pipeline_stats: Optional pipeline statistics; when given, the
             Wattch-style processor energy is attached too.
@@ -126,4 +176,5 @@ def combine_run_energy(
         dcache=breakdowns["L1D"],
         icache=breakdowns["L1I"],
         processor=processor,
+        l2=breakdowns.get("L2"),
     )

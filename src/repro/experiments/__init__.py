@@ -15,6 +15,14 @@
 | :mod:`~repro.experiments.figure9` | Figure 9 — gated precharging vs resizable caches |
 | :mod:`~repro.experiments.figure10` | Figure 10 — effect of subarray size |
 
+Two hierarchy experiments extend the paper's evaluation to the
+policy-controlled L2:
+
+| Module | Artefact |
+|---|---|
+| :mod:`~repro.experiments.l2sweep` | L2 precharge-policy sweep |
+| :mod:`~repro.experiments.frontier` | L1/L2 energy-delay frontier |
+
 Every module registers its artefact with
 :mod:`~repro.experiments.registry` under a common
 ``run(engine, options) -> result`` / ``format(result) -> str`` protocol,
@@ -28,6 +36,19 @@ from .figure6 import Figure6Result, figure6, format_figure6
 from .figure8 import Figure8Benchmark, Figure8Result, figure8, format_figure8
 from .figure9 import Figure9Result, figure9, format_figure9
 from .figure10 import SUBARRAY_SIZES, Figure10Result, figure10, format_figure10
+from .frontier import (
+    FrontierPoint,
+    FrontierResult,
+    energy_delay_frontier,
+    format_frontier,
+)
+from .l2sweep import (
+    L2_POLICY_MENU,
+    L2PolicyRow,
+    L2SweepResult,
+    format_l2_sweep,
+    l2_policy_sweep,
+)
 from .ondemand import OnDemandResult, format_ondemand, ondemand_slowdown
 from .predecode_accuracy import (
     PredecodeAccuracyResult,
@@ -54,6 +75,9 @@ __all__ = [
     "Figure8Benchmark", "Figure8Result", "figure8", "format_figure8",
     "Figure9Result", "figure9", "format_figure9",
     "SUBARRAY_SIZES", "Figure10Result", "figure10", "format_figure10",
+    "FrontierPoint", "FrontierResult", "energy_delay_frontier", "format_frontier",
+    "L2_POLICY_MENU", "L2PolicyRow", "L2SweepResult",
+    "format_l2_sweep", "l2_policy_sweep",
     "OnDemandResult", "format_ondemand", "ondemand_slowdown",
     "PredecodeAccuracyResult", "format_predecode_accuracy", "predecode_accuracy",
     "Experiment", "ExperimentOptions", "experiment_names",

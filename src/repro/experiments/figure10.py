@@ -11,7 +11,7 @@ diminishing returns below 256B.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
@@ -63,8 +63,19 @@ def figure10(
     n_instructions: int = 15_000,
     threshold: int = 100,
     engine: Optional["SimEngine"] = None,
+    l2: Union[PolicySpec, str] = "static",
 ) -> Figure10Result:
-    """Regenerate Figure 10 (gated precharging vs subarray size)."""
+    """Regenerate Figure 10 (gated precharging vs subarray size).
+
+    Args:
+        benchmarks: Benchmark subset (default: all sixteen).
+        subarray_sizes: L1 subarray sizes to sweep.
+        feature_size_nm: Technology node.
+        n_instructions: Micro-ops per run.
+        threshold: Gated-precharging decay threshold.
+        engine: Engine to run on; defaults to the process-wide engine.
+        l2: L2 precharge policy applied to every run.
+    """
     dcache_avg: Dict[int, float] = {}
     icache_avg: Dict[int, float] = {}
     per_bench_d: Dict[str, Dict[int, float]] = {}
@@ -76,6 +87,7 @@ def figure10(
             feature_size_nm=feature_size_nm,
             subarray_bytes=size,
             n_instructions=n_instructions,
+            l2=l2,
         )
         runs = sweep_benchmarks(config, benchmarks, engine=engine)
         dcache_avg[size] = arithmetic_mean(
@@ -123,11 +135,14 @@ from .registry import ExperimentOptions, register_experiment  # noqa: E402
     "figure10",
     title="Figure 10 - effect of subarray size",
     formatter=format_figure10,
+    consumes=("benchmarks", "n_instructions", "feature_size_nm", "l2_policy"),
 )
 def _figure10_experiment(engine, options: ExperimentOptions):
+    """Precharged-subarray fraction as the L1 subarray size varies."""
     return figure10(
         benchmarks=options.benchmarks,
         feature_size_nm=options.resolved_feature_size(),
         n_instructions=options.resolved_instructions(15_000),
         engine=engine,
+        l2=options.resolved_l2(),
     )

@@ -10,7 +10,7 @@ the bitline discharge, corresponding to ~46%/41% of the cache energy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
@@ -67,13 +67,24 @@ def figure3(
     feature_size_nm: int = 70,
     n_instructions: int = 20_000,
     engine: Optional["SimEngine"] = None,
+    l2: Union[PolicySpec, str] = "static",
 ) -> Figure3Result:
-    """Regenerate Figure 3 (oracle potential savings)."""
+    """Regenerate Figure 3 (oracle potential savings).
+
+    Args:
+        benchmarks: Benchmark subset (default: all sixteen).
+        feature_size_nm: Technology node.
+        n_instructions: Micro-ops per run.
+        engine: Engine to run on; defaults to the process-wide engine.
+        l2: L2 precharge policy applied to every run (the paper's
+            configuration keeps the L2 statically pulled up).
+    """
     base = SimulationConfig(
         dcache=PolicySpec("oracle"),
         icache=PolicySpec("oracle"),
         feature_size_nm=feature_size_nm,
         n_instructions=n_instructions,
+        l2=l2,
     )
     results = sweep_benchmarks(base, benchmarks, engine=engine)
     return Figure3Result(
@@ -132,11 +143,14 @@ from .registry import ExperimentOptions, register_experiment  # noqa: E402
     "figure3",
     title="Figure 3 - oracle potential discharge savings",
     formatter=format_figure3,
+    consumes=("benchmarks", "n_instructions", "feature_size_nm", "l2_policy"),
 )
 def _figure3_experiment(engine, options: ExperimentOptions):
+    """Oracle-policy potential: remaining L1 bitline discharge per benchmark."""
     return figure3(
         benchmarks=options.benchmarks,
         feature_size_nm=options.resolved_feature_size(),
         n_instructions=options.resolved_instructions(20_000),
         engine=engine,
+        l2=options.resolved_l2(),
     )

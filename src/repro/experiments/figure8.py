@@ -17,7 +17,7 @@ the constant threshold, all within ~1% slowdown.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
@@ -120,6 +120,7 @@ def _gated_config(
     icache_threshold: int,
     feature_size_nm: int,
     n_instructions: int,
+    l2: Union[PolicySpec, str] = "static",
 ) -> SimulationConfig:
     return SimulationConfig(
         benchmark=benchmark,
@@ -127,6 +128,7 @@ def _gated_config(
         icache=PolicySpec("gated", {"threshold": icache_threshold}),
         feature_size_nm=feature_size_nm,
         n_instructions=n_instructions,
+        l2=l2,
     )
 
 
@@ -157,18 +159,21 @@ def figure8(
     n_instructions: int = 20_000,
     constant_threshold: int = 100,
     engine: Optional[SimEngine] = None,
+    l2: Union[PolicySpec, str] = "static",
 ) -> Figure8Result:
     """Regenerate Figure 8 (gated precharging, optimum and constant thresholds).
 
     Runs in three batched phases so the engine can fan each out over its
     workers: the static profiling/baseline runs, then every gated run
     (optimum and constant thresholds), then row assembly from the cached
-    results.
+    results.  ``l2`` forces an L2 precharge policy onto every run
+    (baselines included), so the reported slowdowns stay relative to the
+    same hierarchy.
     """
     engine = default_engine() if engine is None else engine
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     base = SimulationConfig(
-        feature_size_nm=feature_size_nm, n_instructions=n_instructions
+        feature_size_nm=feature_size_nm, n_instructions=n_instructions, l2=l2
     )
 
     # Phase 1: one static run per benchmark — the threshold-selection
@@ -187,12 +192,14 @@ def figure8(
             thresholds[name].icache_threshold,
             feature_size_nm,
             n_instructions,
+            l2=l2,
         )
         for name in names
     ]
     constant_cfgs = [
         _gated_config(
-            name, constant_threshold, constant_threshold, feature_size_nm, n_instructions
+            name, constant_threshold, constant_threshold, feature_size_nm,
+            n_instructions, l2=l2,
         )
         for name in names
     ]
@@ -287,11 +294,14 @@ from .registry import ExperimentOptions, register_experiment  # noqa: E402
     "figure8",
     title="Figure 8 - gated precharging results",
     formatter=format_figure8,
+    consumes=("benchmarks", "n_instructions", "feature_size_nm", "l2_policy"),
 )
 def _figure8_experiment(engine, options: ExperimentOptions):
+    """Gated precharging: precharged subarrays, discharge and slowdown."""
     return figure8(
         benchmarks=options.benchmarks,
         feature_size_nm=options.resolved_feature_size(),
         n_instructions=options.resolved_instructions(20_000),
         engine=engine,
+        l2=options.resolved_l2(),
     )

@@ -12,7 +12,7 @@ switching overhead vanishes — ending far ahead of resizable caches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.circuits.technology import available_nodes
 from repro.core.registry import PolicySpec
@@ -61,8 +61,18 @@ def figure9(
     n_instructions: int = 15_000,
     threshold: int = 100,
     engine: Optional["SimEngine"] = None,
+    l2: Union[PolicySpec, str] = "static",
 ) -> Figure9Result:
-    """Regenerate Figure 9 (gated precharging vs resizable caches)."""
+    """Regenerate Figure 9 (gated precharging vs resizable caches).
+
+    Args:
+        benchmarks: Benchmark subset (default: all sixteen).
+        nodes: Technology nodes to sweep (default: every modelled node).
+        n_instructions: Micro-ops per run.
+        threshold: Gated-precharging decay threshold.
+        engine: Engine to run on; defaults to the process-wide engine.
+        l2: L2 precharge policy applied to every run.
+    """
     nodes = list(nodes) if nodes is not None else available_nodes()
     gated_d: Dict[int, float] = {}
     gated_i: Dict[int, float] = {}
@@ -74,12 +84,14 @@ def figure9(
             icache=PolicySpec("gated", {"threshold": threshold}),
             feature_size_nm=nm,
             n_instructions=n_instructions,
+            l2=l2,
         )
         resizable_cfg = SimulationConfig(
             dcache=PolicySpec("resizable"),
             icache=PolicySpec("resizable"),
             feature_size_nm=nm,
             n_instructions=n_instructions,
+            l2=l2,
         )
         gated_runs = sweep_benchmarks(gated_cfg, benchmarks, engine=engine)
         resizable_runs = sweep_benchmarks(resizable_cfg, benchmarks, engine=engine)
@@ -136,12 +148,15 @@ from .registry import ExperimentOptions, register_experiment  # noqa: E402
     "figure9",
     title="Figure 9 - gated precharging vs resizable caches",
     formatter=format_figure9,
+    consumes=("benchmarks", "n_instructions", "feature_size_nm", "l2_policy"),
 )
 def _figure9_experiment(engine, options: ExperimentOptions):
+    """Gated precharging vs the resizable-cache baseline across nodes."""
     nodes = None if options.feature_size_nm is None else [options.feature_size_nm]
     return figure9(
         benchmarks=options.benchmarks,
         nodes=nodes,
         n_instructions=options.resolved_instructions(15_000),
         engine=engine,
+        l2=options.resolved_l2(),
     )

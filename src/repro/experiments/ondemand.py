@@ -11,7 +11,7 @@ comparing against the static pull-up baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from repro.core.registry import PolicySpec
 from repro.sim.config import SimulationConfig
@@ -53,13 +53,23 @@ def ondemand_slowdown(
     feature_size_nm: int = 70,
     n_instructions: int = 20_000,
     engine: Optional["SimEngine"] = None,
+    l2: Union[PolicySpec, str] = "static",
 ) -> OnDemandResult:
-    """Measure the Section 5 on-demand precharging slowdowns."""
+    """Measure the Section 5 on-demand precharging slowdowns.
+
+    Args:
+        benchmarks: Benchmark subset (default: all sixteen).
+        feature_size_nm: Technology node.
+        n_instructions: Micro-ops per run.
+        engine: Engine to run on; defaults to the process-wide engine.
+        l2: L2 precharge policy applied to every run (baseline included).
+    """
     baseline_cfg = SimulationConfig(
         dcache=PolicySpec("static"),
         icache=PolicySpec("static"),
         feature_size_nm=feature_size_nm,
         n_instructions=n_instructions,
+        l2=l2,
     )
     dcache_cfg = baseline_cfg.with_policies("on-demand", "static")
     icache_cfg = baseline_cfg.with_policies("static", "on-demand")
@@ -109,11 +119,14 @@ from .registry import ExperimentOptions, register_experiment  # noqa: E402
     "ondemand",
     title="Section 5 - on-demand precharging slowdown",
     formatter=format_ondemand,
+    consumes=("benchmarks", "n_instructions", "feature_size_nm", "l2_policy"),
 )
 def _ondemand_experiment(engine, options: ExperimentOptions):
+    """Per-benchmark slowdown of on-demand (partial-decode) precharging."""
     return ondemand_slowdown(
         benchmarks=options.benchmarks,
         feature_size_nm=options.resolved_feature_size(),
         n_instructions=options.resolved_instructions(20_000),
         engine=engine,
+        l2=options.resolved_l2(),
     )

@@ -18,9 +18,11 @@ the module list.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.core.registry import PolicySpec
 from repro.sim.engine import SimEngine
 
 __all__ = [
@@ -44,11 +46,17 @@ class ExperimentOptions:
         feature_size_nm: Technology node, or ``None`` for the
             experiment's default (single-node experiments use 70; the
             cross-node figure9 sweeps every node unless one is forced).
+        l2_policy: CLI-style L2 precharge-policy spec (e.g.
+            ``"gated:threshold=500"``) forced onto every simulated
+            configuration, or ``None`` for the experiment's default
+            (the conventional static L2 for the paper's artefacts; the
+            hierarchy experiments sweep their own L2 axis).
     """
 
     benchmarks: Optional[Tuple[str, ...]] = None
     n_instructions: Optional[int] = None
     feature_size_nm: Optional[int] = None
+    l2_policy: Optional[str] = None
 
     def resolved_instructions(self, default: int) -> int:
         """The instruction budget, falling back to ``default``."""
@@ -57,6 +65,18 @@ class ExperimentOptions:
     def resolved_feature_size(self, default: int = 70) -> int:
         """The technology node, falling back to ``default``."""
         return self.feature_size_nm if self.feature_size_nm is not None else default
+
+    def resolved_l2(self, default: str = "static") -> PolicySpec:
+        """The forced L2 policy spec, falling back to ``default``.
+
+        Raises:
+            ValueError: when the spec names an unregistered policy or
+                passes a parameter its factory does not accept — checked
+                here so option errors surface before any simulation runs.
+        """
+        spec = PolicySpec.parse(self.l2_policy if self.l2_policy else default)
+        spec.validated_params()
+        return spec
 
 
 @dataclass(frozen=True)
@@ -74,6 +94,9 @@ class Experiment:
     #: Which :class:`ExperimentOptions` fields the runner honours; the CLI
     #: warns when an option outside this set is supplied.
     consumes: Tuple[str, ...] = ("benchmarks", "n_instructions", "feature_size_nm")
+    #: One-line human-readable summary, surfaced by ``repro experiment
+    #: --list``; defaults to the first line of the runner's docstring.
+    description: str = ""
 
 
 _REGISTRY: Dict[str, Experiment] = {}
@@ -85,10 +108,29 @@ def register_experiment(
     formatter: Callable[[Any], str],
     uses_engine: bool = True,
     consumes: Tuple[str, ...] = ("benchmarks", "n_instructions", "feature_size_nm"),
+    description: str = "",
 ) -> Callable[[Callable[[SimEngine, ExperimentOptions], Any]], Callable]:
-    """Publish ``run(engine, options)`` for one table/figure."""
+    """Publish ``run(engine, options)`` for one table/figure.
+
+    Args:
+        name: Registry name (lower-cased); also the CLI argument.
+        title: Short display title (the paper artefact).
+        formatter: ``format(result) -> str`` rendering the text table.
+        uses_engine: Whether the runner drives the supplied engine.
+        consumes: The :class:`ExperimentOptions` fields the runner honours.
+        description: One-line summary for ``repro experiment --list``;
+            defaults to the first line of the runner's docstring (or the
+            experiment module's docstring when the runner has none).
+    """
 
     def decorator(run: Callable[[SimEngine, ExperimentOptions], Any]) -> Callable:
+        summary = description
+        if not summary:
+            doc = inspect.getdoc(run) or ""
+            if not doc:
+                module = inspect.getmodule(run)
+                doc = inspect.getdoc(module) or "" if module else ""
+            summary = doc.split("\n")[0].strip()
         _REGISTRY[name.lower()] = Experiment(
             name=name.lower(),
             title=title,
@@ -96,6 +138,7 @@ def register_experiment(
             format=formatter,
             uses_engine=uses_engine,
             consumes=consumes,
+            description=summary,
         )
         return run
 

@@ -2,10 +2,11 @@
 
 :class:`SimulationConfig` collects everything one run needs: the
 technology node (Table 1), the processor and memory-hierarchy sizing
-(Table 2), the benchmark, the precharge policies of the two L1 caches and
-the run length.  The precharge policies are carried as declarative
-:class:`~repro.core.registry.PolicySpec` objects resolved through the
-policy registry, so adding a policy never touches this module.
+(Table 2), the benchmark, the precharge policies of the two L1 caches
+and the unified L2, and the run length.  The precharge policies are
+carried as declarative :class:`~repro.core.registry.PolicySpec` objects
+resolved through the policy registry, so adding a policy never touches
+this module.
 
 Legacy string-based construction
 (``SimulationConfig(dcache_policy="gated", dcache_threshold=150)``) and
@@ -116,19 +117,38 @@ def _default_static_spec() -> PolicySpec:
     return PolicySpec("static")
 
 
+def _is_default_static(spec: PolicySpec) -> bool:
+    """Whether ``spec`` canonicalises to the plain static-pull-up default.
+
+    Used to keep memoisation and result-store keys byte-identical to the
+    keys written before the L2 carried a policy: an L2 spec equivalent to
+    the old implicit static pull-up contributes nothing to a key.
+    """
+    try:
+        return spec.cache_key() == PolicySpec("static").cache_key()
+    except ValueError:
+        return False
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
     """Everything one simulated run needs.
 
     Attributes:
-        benchmark: Name of one of the sixteen synthetic benchmarks.
+        benchmark: Benchmark, scenario (``mix:``/``phases:``) or
+            ``trace:`` workload name.
         dcache: Precharge policy spec for the L1 data cache.
         icache: Precharge policy spec for the L1 instruction cache.
         feature_size_nm: Technology node (Table 1).
-        subarray_bytes: Precharge-control granularity (1KB base).
+        subarray_bytes: L1 precharge-control granularity (1KB base).
         n_instructions: Micro-ops to simulate.
         seed: Workload seed.
         pipeline: Microarchitecture parameters (Table 2 defaults).
+        l2: Precharge policy spec for the unified L2 cache (defaults to
+            the conventional static pull-up the paper assumes).
+        l2_subarray_bytes: L2 precharge-control granularity; ``None``
+            scales the L1 granularity (at least 4KB) — see
+            :meth:`~repro.cache.hierarchy.HierarchyConfig.l2_organization`.
     """
 
     benchmark: str = "gcc"
@@ -139,10 +159,13 @@ class SimulationConfig:
     n_instructions: int = DEFAULT_INSTRUCTIONS
     seed: int = 1
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    l2: PolicySpec = field(default_factory=_default_static_spec)
+    l2_subarray_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "dcache", _coerce_spec(self.dcache))
         object.__setattr__(self, "icache", _coerce_spec(self.icache))
+        object.__setattr__(self, "l2", _coerce_spec(self.l2))
 
     # ------------------------------------------------------------------
     # Deprecated string accessors (kept for the pre-registry API)
@@ -167,12 +190,18 @@ class SimulationConfig:
         """Deprecated: the instruction-cache decay threshold (use ``icache.get``)."""
         return self.icache.get("threshold", DEFAULT_THRESHOLD)
 
+    @property
+    def l2_policy(self) -> str:
+        """The L2 policy name (symmetric with the deprecated L1 accessors)."""
+        return self.l2.name
+
     # ------------------------------------------------------------------
     def hierarchy_config(self) -> HierarchyConfig:
         """The memory-hierarchy sizing for this run."""
         return HierarchyConfig(
             feature_size_nm=self.feature_size_nm,
             subarray_bytes=self.subarray_bytes,
+            l2_subarray_bytes=self.l2_subarray_bytes,
         )
 
     def dcache_controller(self) -> BasePrechargePolicy:
@@ -182,6 +211,10 @@ class SimulationConfig:
     def icache_controller(self) -> BasePrechargePolicy:
         """Instantiate the instruction-cache precharge policy."""
         return self.icache.build()
+
+    def l2_controller(self) -> BasePrechargePolicy:
+        """Instantiate the unified L2 cache's precharge policy."""
+        return self.l2.build()
 
     def pipeline_config(self) -> PipelineConfig:
         """Pipeline configuration, with policy-declared latency folded in.
@@ -201,20 +234,29 @@ class SimulationConfig:
         self,
         dcache: Union[PolicySpec, str],
         icache: Union[PolicySpec, str],
+        l2: Union[PolicySpec, str, None] = None,
     ) -> "SimulationConfig":
         """A copy of this configuration with different precharge policies.
 
         Bare names keep the current thresholds when the new policy accepts
         one (matching the old string-field behaviour); specs are taken
-        verbatim.
+        verbatim.  ``l2`` is optional: ``None`` keeps the current L2 spec.
         """
         if isinstance(dcache, str):
             dcache = _legacy_spec(dcache, self.dcache.get("threshold"))
         if isinstance(icache, str):
             icache = _legacy_spec(icache, self.icache.get("threshold"))
-        return replace(self, dcache=dcache, icache=icache)
+        if l2 is None:
+            l2 = self.l2
+        elif isinstance(l2, str):
+            l2 = _legacy_spec(l2, self.l2.get("threshold"))
+        return replace(self, dcache=dcache, icache=icache, l2=l2)
 
     # ------------------------------------------------------------------
+    def _l2_is_default(self) -> bool:
+        """Whether the L2 settings match the pre-policy-capable default."""
+        return self.l2_subarray_bytes is None and _is_default_static(self.l2)
+
     def cache_key(self) -> Tuple:
         """Hashable memoisation key identifying this run exactly.
 
@@ -224,8 +266,13 @@ class SimulationConfig:
         participate with no driver changes.  ``trace:`` benchmarks fold
         the trace file's identity (path, mtime, size) in, so a
         re-recorded file is never served a stale memoised result.
+
+        A default L2 (static pull-up, derived subarray size) contributes
+        nothing, keeping keys identical to the ones produced before the
+        L2 carried a policy; a non-default L2 appends its canonical spec
+        and granularity.
         """
-        return (
+        key = (
             self.benchmark,
             self.dcache.cache_key(),
             self.icache.cache_key(),
@@ -236,10 +283,20 @@ class SimulationConfig:
             self.pipeline,
             workload_identity(self.benchmark),
         )
+        if not self._l2_is_default():
+            key += (self.l2.cache_key(), self.l2_subarray_bytes)
+        return key
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe representation (round-trips via :meth:`from_dict`)."""
-        return {
+        """JSON-safe representation (round-trips via :meth:`from_dict`).
+
+        The ``l2`` / ``l2_subarray_bytes`` keys are only emitted when
+        they differ from the default (static pull-up, derived subarray
+        size): the round-trip stays exact, while serialised forms — and
+        the result-store digests derived from them — stay byte-identical
+        to the ones written before the L2 carried a policy.
+        """
+        data = {
             "benchmark": self.benchmark,
             "dcache": self.dcache.to_dict(),
             "icache": self.icache.to_dict(),
@@ -249,10 +306,19 @@ class SimulationConfig:
             "seed": self.seed,
             "pipeline": self.pipeline.to_dict(),
         }
+        if not self._l2_is_default():
+            data["l2"] = self.l2.to_dict()
+            data["l2_subarray_bytes"] = self.l2_subarray_bytes
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
-        """Rebuild a configuration from :meth:`to_dict` output."""
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Payloads written before the L2 carried a policy (no ``"l2"``
+        key) load with the default static L2.
+        """
+        l2 = data.get("l2")
         return cls(
             benchmark=data["benchmark"],
             dcache=PolicySpec.from_dict(data["dcache"]),
@@ -262,6 +328,8 @@ class SimulationConfig:
             n_instructions=data["n_instructions"],
             seed=data["seed"],
             pipeline=PipelineConfig.from_dict(data["pipeline"]),
+            l2=_default_static_spec() if l2 is None else PolicySpec.from_dict(l2),
+            l2_subarray_bytes=data.get("l2_subarray_bytes"),
         )
 
 
@@ -281,6 +349,8 @@ def _compat_init(
     icache_policy: Optional[str] = None,
     dcache_threshold: Optional[int] = None,
     icache_threshold: Optional[int] = None,
+    l2_policy: Optional[str] = None,
+    l2_threshold: Optional[int] = None,
     **kwargs,
 ) -> None:
     if len(args) > 1:
@@ -308,6 +378,15 @@ def _compat_init(
             )
         kwargs["icache"] = _legacy_spec(
             icache_policy or "static", icache_threshold, warn_dropped=True
+        )
+    if l2_policy is not None or l2_threshold is not None:
+        if "l2" in kwargs:
+            raise TypeError(
+                "pass either l2=PolicySpec(...) or the l2_policy/"
+                "l2_threshold string keywords, not both"
+            )
+        kwargs["l2"] = _legacy_spec(
+            l2_policy or "static", l2_threshold, warn_dropped=True
         )
     _GENERATED_INIT(self, *args, **kwargs)
 

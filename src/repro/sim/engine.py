@@ -56,6 +56,7 @@ def execute_run(config: SimulationConfig) -> RunResult:
         config=config.hierarchy_config(),
         icache_controller=config.icache_controller(),
         dcache_controller=config.dcache_controller(),
+        l2_controller=config.l2_controller(),
     )
     pipeline = OutOfOrderPipeline(
         hierarchy=hierarchy,
@@ -89,6 +90,12 @@ def execute_run(config: SimulationConfig) -> RunResult:
         icache_accesses=hierarchy.l1i.accesses,
         dcache_delayed_accesses=hierarchy.l1d.precharge_penalties,
         icache_delayed_accesses=hierarchy.l1i.precharge_penalties,
+        l2_policy=config.l2.info().name,
+        l2_miss_ratio=hierarchy.l2.miss_ratio,
+        l2_accesses=hierarchy.l2.accesses,
+        l2_writebacks=hierarchy.l2.writebacks,
+        l2_delayed_accesses=hierarchy.l2.precharge_penalties,
+        l2_gaps=hierarchy.l2.tracker.access_gaps(),
     )
 
 

@@ -17,8 +17,9 @@ comes from restructuring, not from approximating:
   that are updated when a producer issues, so the per-cycle wakeup scan
   degenerates to integer compares — and is skipped entirely on cycles
   where nothing can possibly issue (``iq_min_wake``);
-* the L1 caches are flat tag/LRU arrays (:class:`_FastL1Cache`) that
-  delegate *policy decisions* to the very same
+* the cache levels — both L1s *and* the unified L2 — are flat
+  tag/LRU/MSHR arrays (:class:`_FastCache`) that delegate *policy
+  decisions* to the very same
   :class:`~repro.core.policies.BasePrechargePolicy` objects and
   :class:`~repro.cache.energy_accounting.EnergyLedger` arithmetic the
   reference model uses, in the same call order — which is what makes the
@@ -37,7 +38,6 @@ import threading
 from collections import deque
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.cache.cache import SetAssociativeCache
 from repro.cache.energy_accounting import EnergyBreakdown, EnergyLedger
 from repro.cache.hierarchy import MainMemory
 from repro.cache.mshr import MSHRFile
@@ -233,22 +233,27 @@ def clear_trace_cache() -> None:
         _TRACE_CACHE.clear()
 
 
-class _FastL1Cache:
-    """Flat-array L1 cache, behaviourally identical to the reference model.
+class _FastCache:
+    """Flat-array cache level, behaviourally identical to the reference model.
 
     Tag match, LRU victim selection and statistics are inlined over
-    parallel per-set lists; the precharge policy, the energy ledger and
-    the next level (the shared L2 :class:`SetAssociativeCache`) are the
-    same objects the reference path uses, called in the same order with
-    the same arguments.
+    parallel per-set lists; the precharge policy and the energy ledger
+    are the same objects the reference path uses, called in the same
+    order with the same arguments.  One class serves every level: the
+    L1s are wired to the shared flat L2, the L2 to the
+    :class:`~repro.cache.hierarchy.MainMemory` model (misses below a
+    fast next level consume its returned latency directly; a non-fast
+    next level is consulted through the reference ``AccessResult``
+    protocol).
     """
 
     __slots__ = (
         "organization", "name", "base_latency", "controller", "next_level",
-        "mshrs", "ledger", "_tags", "_dirty", "_last_used", "_sub_last",
-        "gaps", "accesses", "hits", "misses", "writebacks",
+        "mshrs", "ledger", "_tags", "_lines", "_dirty", "_last_used",
+        "_sub_last", "gaps", "accesses", "hits", "misses", "writebacks",
         "precharge_penalties", "penalty_cycles", "_last_cycle",
         "_offset_bits", "_n_sets", "_assoc", "_sets_per_subarray",
+        "_next_is_fast",
     )
 
     def __init__(
@@ -256,7 +261,7 @@ class _FastL1Cache:
         organization: CacheOrganization,
         name: str,
         controller,
-        next_level: SetAssociativeCache,
+        next_level,
         mshr_entries: int,
         base_latency: int,
     ) -> None:
@@ -265,6 +270,7 @@ class _FastL1Cache:
         self.base_latency = base_latency
         self.controller = controller
         self.next_level = next_level
+        self._next_is_fast = isinstance(next_level, _FastCache)
         self.mshrs = MSHRFile(mshr_entries)
         n_sets = organization.n_sets
         assoc = organization.associativity
@@ -274,6 +280,8 @@ class _FastL1Cache:
         self._sets_per_subarray = organization.sets_per_subarray
         # -1 tags mark invalid ways (real tags are non-negative).
         self._tags = [[-1] * assoc for _ in range(n_sets)]
+        #: Original (pre-remap) line address per way, for writebacks.
+        self._lines = [[-1] * assoc for _ in range(n_sets)]
         self._dirty = [[False] * assoc for _ in range(n_sets)]
         self._last_used = [[0] * assoc for _ in range(n_sets)]
         self._sub_last = [-1] * organization.n_subarrays
@@ -354,7 +362,17 @@ class _FastL1Cache:
                         victim = way
             if tags[victim] >= 0 and self._dirty[set_index][victim]:
                 self.writebacks += 1
+                # Drain the dirty victim to the next level (same point in
+                # the access sequence as the reference model: after the
+                # fill request, before the overwrite).  The recorded
+                # pre-remap line address is used, like the reference.
+                wb_address = self._lines[set_index][victim] << self._offset_bits
+                if self._next_is_fast:
+                    self.next_level.access(wb_address, cycle, True, None)
+                else:
+                    self.next_level.access(wb_address, cycle, write=True)
             tags[victim] = tag
+            self._lines[set_index][victim] = line
             self._dirty[set_index][victim] = write
             self._last_used[set_index][victim] = cycle
 
@@ -367,8 +385,10 @@ class _FastL1Cache:
         if existing is not None:
             return max(1, existing.ready_cycle - cycle)
 
-        below = self.next_level.access(address, cycle)
-        service = below.latency
+        if self._next_is_fast:
+            service = self.next_level.access(address, cycle, False, None)[1]
+        else:
+            service = self.next_level.access(address, cycle).latency
 
         self.mshrs.retire_completed(cycle)
         entry = self.mshrs.allocate(line_addr, ready_cycle=cycle + service)
@@ -394,8 +414,8 @@ class _FastL1Cache:
 
 def _simulate(
     trace: CompiledTrace,
-    l1i: _FastL1Cache,
-    l1d: _FastL1Cache,
+    l1i: _FastCache,
+    l1d: _FastCache,
     pipeline_config,
     stats: PipelineStats,
     n_instructions: int,
@@ -780,14 +800,15 @@ def execute_run_fast(config: SimulationConfig) -> RunResult:
         cycles_per_8_bytes=hierarchy_config.memory_cycles_per_8_bytes,
         line_bytes=hierarchy_config.line_bytes,
     )
-    l2 = SetAssociativeCache(
+    l2 = _FastCache(
         organization=hierarchy_config.l2_organization(),
         name="L2",
+        controller=config.l2_controller(),
         next_level=memory,
         mshr_entries=hierarchy_config.mshr_entries,
         base_latency=hierarchy_config.l2_latency,
     )
-    l1i = _FastL1Cache(
+    l1i = _FastCache(
         organization=hierarchy_config.l1i_organization(),
         name="L1I",
         controller=config.icache_controller(),
@@ -795,7 +816,7 @@ def execute_run_fast(config: SimulationConfig) -> RunResult:
         mshr_entries=hierarchy_config.mshr_entries,
         base_latency=hierarchy_config.l1i_latency,
     )
-    l1d = _FastL1Cache(
+    l1d = _FastCache(
         organization=hierarchy_config.l1d_organization(),
         name="L1D",
         controller=config.dcache_controller(),
@@ -807,7 +828,11 @@ def execute_run_fast(config: SimulationConfig) -> RunResult:
     cycles = _simulate(
         trace, l1i, l1d, config.pipeline_config(), stats, config.n_instructions
     )
-    breakdowns = {"L1I": l1i.finalize(cycles), "L1D": l1d.finalize(cycles)}
+    breakdowns = {
+        "L1I": l1i.finalize(cycles),
+        "L1D": l1d.finalize(cycles),
+        "L2": l2.finalize(cycles),
+    }
     energy = combine_run_energy(
         breakdowns,
         tech=get_technology(config.feature_size_nm),
@@ -830,4 +855,10 @@ def execute_run_fast(config: SimulationConfig) -> RunResult:
         icache_accesses=l1i.accesses,
         dcache_delayed_accesses=l1d.precharge_penalties,
         icache_delayed_accesses=l1i.precharge_penalties,
+        l2_policy=config.l2.info().name,
+        l2_miss_ratio=l2.miss_ratio,
+        l2_accesses=l2.accesses,
+        l2_writebacks=l2.writebacks,
+        l2_delayed_accesses=l2.precharge_penalties,
+        l2_gaps=l2.gaps,
     )

@@ -9,7 +9,7 @@ of the ``repro`` CLI, and cross-process transport in parallel sweeps.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.cache.energy_accounting import EnergyBreakdown
@@ -41,6 +41,14 @@ class RunResult:
         icache_accesses: Number of L1I accesses.
         dcache_delayed_accesses: L1D accesses that paid a precharge penalty.
         icache_delayed_accesses: L1I accesses that paid a precharge penalty.
+        l2_policy: Unified-L2 precharge policy name (``"static"`` — the
+            conventional cache — on results recorded before the L2
+            became policy-controlled).
+        l2_miss_ratio: L2 misses per access.
+        l2_accesses: Number of L2 accesses (L1 fills plus writebacks).
+        l2_writebacks: Dirty L2 lines evicted (written back to memory).
+        l2_delayed_accesses: L2 accesses that paid a precharge penalty.
+        l2_gaps: Subarray inter-access gaps observed in the L2.
     """
 
     benchmark: str
@@ -59,6 +67,12 @@ class RunResult:
     icache_accesses: int
     dcache_delayed_accesses: int
     icache_delayed_accesses: int
+    l2_policy: str = "static"
+    l2_miss_ratio: float = 0.0
+    l2_accesses: int = 0
+    l2_writebacks: int = 0
+    l2_delayed_accesses: int = 0
+    l2_gaps: List[int] = field(default_factory=list)
 
     @property
     def ipc(self) -> float:
@@ -75,14 +89,29 @@ class RunResult:
         """L1I energy breakdown."""
         return self.energy.icache
 
+    @property
+    def l2_breakdown(self) -> Optional[EnergyBreakdown]:
+        """L2 energy breakdown (``None`` on pre-L2 results)."""
+        return self.energy.l2
+
     def summary(self) -> str:
-        """One-line human-readable summary."""
-        return (
+        """One-line human-readable summary.
+
+        The L2 column only appears when the run used a non-static L2
+        policy, keeping the paper-configuration output unchanged.
+        """
+        text = (
             f"{self.benchmark:9s} D={self.dcache_policy:15s} I={self.icache_policy:15s} "
             f"cycles={self.cycles:8d} IPC={self.ipc:4.2f} "
             f"relD(D)={self.energy.dcache_relative_discharge:5.3f} "
             f"relD(I)={self.energy.icache_relative_discharge:5.3f}"
         )
+        if self.l2_policy != "static":
+            text += (
+                f" L2={self.l2_policy:15s} "
+                f"relD(L2)={self.energy.l2_relative_discharge:5.3f}"
+            )
+        return text
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -104,16 +133,29 @@ class RunResult:
             "icache_accesses": self.icache_accesses,
             "dcache_delayed_accesses": self.dcache_delayed_accesses,
             "icache_delayed_accesses": self.icache_delayed_accesses,
+            "l2_policy": self.l2_policy,
+            "l2_miss_ratio": self.l2_miss_ratio,
+            "l2_accesses": self.l2_accesses,
+            "l2_writebacks": self.l2_writebacks,
+            "l2_delayed_accesses": self.l2_delayed_accesses,
+            "l2_gaps": list(self.l2_gaps),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
-        """Rebuild a result from :meth:`to_dict` output."""
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Payloads written before the L2 gained per-level reporting (no
+        ``l2_*`` keys) load with the dataclass defaults, so old result
+        stores and archived ``--json`` output stay readable.
+        """
         fields = dict(data)
         fields["pipeline"] = PipelineStats.from_dict(fields["pipeline"])
         fields["energy"] = CacheEnergyReport.from_dict(fields["energy"])
         fields["dcache_gaps"] = list(fields["dcache_gaps"])
         fields["icache_gaps"] = list(fields["icache_gaps"])
+        if "l2_gaps" in fields:
+            fields["l2_gaps"] = list(fields["l2_gaps"])
         return cls(**fields)
 
     def to_json(self, **dumps_kwargs: Any) -> str:

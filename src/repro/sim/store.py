@@ -43,11 +43,16 @@ class ResultStore:
 
         ``trace:`` benchmarks fold the trace file's identity in (plain
         benchmark digests are unchanged), so re-recording a file never
-        resumes from a stale stored result.
+        resumes from a stale stored result.  A default L2 (static
+        pull-up) is omitted by :meth:`SimulationConfig.to_dict`, so
+        digests of pre-L2 configurations are unchanged and old stores
+        resume; a non-default L2 folds its canonical spec in.
         """
         canonical = dict(config.to_dict())
         canonical["dcache"] = config.dcache.canonical().to_dict()
         canonical["icache"] = config.icache.canonical().to_dict()
+        if "l2" in canonical:
+            canonical["l2"] = config.l2.canonical().to_dict()
         identity = workload_identity(config.benchmark)
         if identity is not None:
             canonical["workload_identity"] = list(identity)

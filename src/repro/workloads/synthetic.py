@@ -386,6 +386,18 @@ def make_workload(name: str, seed: int = 1):
     ``mix:gcc+mcf@2000`` (multiprogrammed interleave),
     ``phases:gcc+art`` (phase-shifting behaviour) and ``trace:PATH``
     (recorded ``.trace.gz`` replay).
+
+    Args:
+        name: Benchmark, scenario or ``trace:`` workload name.
+        seed: Deterministic workload seed (ignored by trace replay).
+
+    Returns:
+        A workload object exposing ``instructions()``, an iterator of
+        :class:`~repro.workloads.trace.MicroOp` records.
+
+    Raises:
+        KeyError: for an unknown benchmark name (also inside scenarios).
+        ValueError: for a malformed scenario spec or unreadable trace.
     """
     from .scenarios import resolve_workload  # local import: avoids a cycle
 

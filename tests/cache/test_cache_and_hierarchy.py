@@ -150,12 +150,12 @@ class TestMainMemoryAndHierarchy:
         assert hierarchy.l1i.accesses == 1
         assert hierarchy.l1d.accesses == 1
 
-    def test_finalize_returns_both_l1_breakdowns(self):
+    def test_finalize_returns_every_level_breakdown(self):
         hierarchy = MemoryHierarchy()
         hierarchy.load(0x1000, cycle=0)
         hierarchy.fetch_instruction(0x400000, cycle=0)
         breakdowns = hierarchy.finalize(end_cycle=100)
-        assert set(breakdowns) == {"L1I", "L1D"}
+        assert set(breakdowns) == {"L1I", "L1D", "L2"}
 
     def test_config_organizations_match_sizes(self):
         config = HierarchyConfig(subarray_bytes=1024)

@@ -18,8 +18,24 @@ class TestExperimentCommand:
     def test_list(self, capsys):
         status, out = run_cli(capsys, "experiment", "--list")
         assert status == 0
-        for name in ("table1", "figure8", "ondemand"):
+        for name in ("table1", "figure8", "ondemand", "l2sweep", "frontier"):
             assert name in out
+
+    def test_list_surfaces_descriptions(self, capsys):
+        status, out = run_cli(capsys, "experiment", "--list")
+        assert status == 0
+        # Titles alone are not enough: the registry docstrings show too.
+        assert "Gated precharging: precharged subarrays" in out
+        assert "Pareto frontier" in out
+
+    def test_list_json_carries_descriptions(self, capsys):
+        status, out = run_cli(capsys, "experiment", "--list", "--json")
+        assert status == 0
+        payload = json.loads(out)
+        assert payload["figure8"]["title"].startswith("Figure 8")
+        assert payload["figure8"]["description"]
+        assert payload["table1"]["uses_engine"] is False
+        assert "l2_policy" in payload["l2sweep"]["consumes"]
 
     def test_table1_smoke(self, capsys):
         status, out = run_cli(capsys, "experiment", "table1")
@@ -119,6 +135,36 @@ class TestRunCommand:
         assert main(["run", "--benchmark", "mix:gcc+nope", "--instructions", "500"]) == 2
         err = capsys.readouterr().err
         assert "at least two" in err and "unknown benchmark" in err
+
+    def test_l2_policy_flag_reaches_the_simulation(self, capsys):
+        status, out = run_cli(
+            capsys,
+            "run", "--benchmark", "gcc", "--l2-policy", "gated:threshold=500",
+            "--instructions", "1500", "--json",
+        )
+        assert status == 0
+        result = RunResult.from_dict(json.loads(out))
+        assert result.l2_policy == "gated"
+        assert result.energy.l2 is not None
+        assert result.energy.l2_relative_discharge < 1.0
+
+    def test_bad_l2_policy_fails_cleanly(self, capsys):
+        assert main(["run", "--l2-policy", "bogus", "--instructions", "500"]) == 2
+        assert main([
+            "experiment", "figure3", "--l2-policy", "bogus",
+            "--benchmarks", "gcc", "--instructions", "500",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown policy" in err and "Traceback" not in err
+
+    def test_l2_policy_ignored_note_for_non_l2_experiments(self, capsys):
+        status = main([
+            "experiment", "figure5", "--l2-policy", "gated",
+            "--benchmarks", "gcc", "--instructions", "1000",
+        ])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "ignores --l2-policy" in captured.err
 
     def test_fast_and_reference_cli_json_are_identical(self, capsys):
         status, reference = run_cli(

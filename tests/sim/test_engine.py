@@ -193,3 +193,34 @@ class TestResultStore:
         assert {r.benchmark for r in store.iter_results()} == {"gcc", "mesa"}
         store.clear()
         assert len(store) == 0
+
+
+class TestL2AxisThroughEngine:
+    """The L2 policy is a first-class sweep axis for the engine."""
+
+    def test_l2_policies_memoise_separately(self):
+        engine = SimEngine()
+        static = engine.run(_tiny())
+        gated = engine.run(_tiny(l2=PolicySpec("gated", {"threshold": 500})))
+        assert engine.stats["computed"] == 2
+        assert gated.l2_policy == "gated"
+        assert static.l2_policy == "static"
+        # An equivalent spec spelling reuses the gated entry.
+        again = engine.run(_tiny(l2=PolicySpec("gated", (("threshold", 500),))))
+        assert engine.stats["computed"] == 2
+        assert again is gated
+
+    def test_sweep_carries_the_l2_spec(self):
+        engine = SimEngine(fast=True)
+        base = _tiny(l2=PolicySpec("gated", {"threshold": 500}))
+        results = engine.sweep(base, benchmarks=["gcc", "treeadd"])
+        assert all(run.l2_policy == "gated" for run in results.values())
+        assert all(run.energy.l2 is not None for run in results.values())
+
+    def test_store_resumes_l2_runs(self, tmp_path):
+        config = _tiny(l2=PolicySpec("gated", {"threshold": 500}))
+        first = SimEngine(store=str(tmp_path)).run(config)
+        resumed_engine = SimEngine(store=str(tmp_path))
+        resumed = resumed_engine.run(config)
+        assert resumed_engine.stats["computed"] == 0
+        assert resumed.to_dict() == first.to_dict()

@@ -76,6 +76,71 @@ def test_mixed_policies_and_seed() -> None:
     )
 
 
+@pytest.mark.parametrize("l2_policy", policy_names())
+@pytest.mark.parametrize("benchmark_name", ["gcc", "art"])
+def test_l2_policy_grid(l2_policy: str, benchmark_name: str) -> None:
+    # The flat L2 stage must stay bit-identical under every policy,
+    # including the precharge penalties it folds into L1 miss latencies.
+    assert_identical(
+        SimulationConfig(
+            benchmark=benchmark_name,
+            dcache="gated",
+            icache="gated",
+            l2=l2_policy,
+            n_instructions=_INSTRUCTIONS,
+        )
+    )
+
+
+@pytest.mark.parametrize("l1_policy", ["static", "on-demand", "gated-predecode"])
+@pytest.mark.parametrize(
+    "l2_spec",
+    [PolicySpec("gated", {"threshold": 500}), PolicySpec("oracle")],
+    ids=lambda spec: spec.name,
+)
+def test_l1_l2_cross_grid(l1_policy: str, l2_spec: PolicySpec) -> None:
+    assert_identical(
+        SimulationConfig(
+            benchmark="health",
+            dcache=l1_policy,
+            icache=l1_policy,
+            l2=l2_spec,
+            n_instructions=_INSTRUCTIONS,
+        )
+    )
+
+
+@pytest.mark.parametrize("l2_subarray_bytes", [4096, 16384])
+def test_l2_subarray_granularity(l2_subarray_bytes: int) -> None:
+    assert_identical(
+        SimulationConfig(
+            benchmark="vortex",
+            dcache="gated",
+            icache="gated",
+            l2=PolicySpec("gated", {"threshold": 500}),
+            l2_subarray_bytes=l2_subarray_bytes,
+            n_instructions=_INSTRUCTIONS,
+        )
+    )
+
+
+def test_writeback_traffic_is_identical() -> None:
+    # art thrashes the L1D with stores, maximising dirty evictions; the
+    # propagated writebacks must hit the L2 identically on both paths.
+    config = SimulationConfig(
+        benchmark="art",
+        dcache="gated",
+        icache="gated",
+        l2=PolicySpec("gated", {"threshold": 500}),
+        n_instructions=_INSTRUCTIONS,
+    )
+    reference = execute_run(config)
+    fast = execute_run_fast(config)
+    assert fast.to_dict() == reference.to_dict()
+    assert reference.pipeline.dcache_access_count > 0
+    assert reference.l2_accesses > 0
+
+
 @pytest.mark.parametrize(
     "scenario", ["mix:gcc+mcf@400", "phases:gcc+art@300"]
 )
@@ -85,6 +150,7 @@ def test_scenario_workloads(scenario: str) -> None:
             benchmark=scenario,
             dcache="gated",
             icache="gated",
+            l2=PolicySpec("gated", {"threshold": 500}),
             n_instructions=_INSTRUCTIONS,
         )
     )

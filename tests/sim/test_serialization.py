@@ -69,7 +69,76 @@ class TestConfigRoundTrip:
             n_instructions=12_345,
             seed=9,
             pipeline=PipelineConfig(width=4, rob_entries=64),
+            l2=PolicySpec("gated", {"threshold": 500}),
+            l2_subarray_bytes=8192,
         )
         rebuilt = SimulationConfig.from_dict(json.loads(json.dumps(config.to_dict())))
         assert rebuilt == config
         assert rebuilt.cache_key() == config.cache_key()
+
+
+class TestL2BackwardCompatibility:
+    """Pre-L2 payloads and keys stay valid after the L2 became policy-capable."""
+
+    def test_default_l2_is_omitted_from_serialised_config(self):
+        data = SimulationConfig().to_dict()
+        assert "l2" not in data and "l2_subarray_bytes" not in data
+
+    def test_non_default_l2_is_serialised(self):
+        data = SimulationConfig(l2="gated").to_dict()
+        assert data["l2"] == {"name": "gated", "params": {}}
+
+    def test_legacy_config_payload_loads_with_static_l2(self):
+        data = SimulationConfig().to_dict()
+        data.pop("l2", None)
+        config = SimulationConfig.from_dict(data)
+        assert config.l2.name == "static"
+        assert config.l2_subarray_bytes is None
+
+    def test_explicit_static_l2_shares_the_legacy_cache_key(self):
+        assert (
+            SimulationConfig(l2="static").cache_key()
+            == SimulationConfig().cache_key()
+        )
+        assert (
+            SimulationConfig(l2="gated").cache_key()
+            != SimulationConfig().cache_key()
+        )
+
+    def test_store_digest_unchanged_for_default_l2(self):
+        from repro.sim.store import ResultStore
+
+        default = ResultStore.key_for(SimulationConfig())
+        explicit = ResultStore.key_for(SimulationConfig(l2="static"))
+        gated = ResultStore.key_for(SimulationConfig(l2=PolicySpec("gated", {"threshold": 500})))
+        assert default == explicit
+        assert gated != default
+
+    def test_legacy_run_result_payload_loads_with_defaults(self, small_baseline_run):
+        data = small_baseline_run.to_dict()
+        for key in list(data):
+            if key.startswith("l2_"):
+                del data[key]
+        data["energy"] = dict(data["energy"])
+        data["energy"].pop("l2", None)
+        rebuilt = RunResult.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.l2_policy == "static"
+        assert rebuilt.l2_accesses == 0
+        assert rebuilt.l2_gaps == []
+        assert rebuilt.energy.l2 is None
+        assert rebuilt.energy.l2_relative_discharge == 1.0
+
+    def test_l2_fields_round_trip_exactly(self):
+        from repro.sim import run_simulation
+
+        config = SimulationConfig(
+            benchmark="gcc",
+            l2=PolicySpec("gated", {"threshold": 500}),
+            n_instructions=3_000,
+        )
+        result = run_simulation(config)
+        rebuilt = RunResult.from_json(result.to_json())
+        assert rebuilt == result
+        assert rebuilt.l2_policy == "gated"
+        assert rebuilt.energy.l2 is not None
+        assert rebuilt.l2_accesses > 0
