@@ -1,0 +1,21 @@
+"""PR-4 performance harness: thin wrapper over ``python -m repro bench``.
+
+The harness itself lives in :mod:`repro.bench` and is exposed as the
+``repro bench`` subcommand; this script only preserves the
+``benchmarks/perf_prN.py`` invocation convention of earlier PRs::
+
+    PYTHONPATH=src python benchmarks/perf_pr4.py
+    PYTHONPATH=src python benchmarks/perf_pr4.py --instructions 8000 --output BENCH_pr4.ci.json
+
+See ``python -m repro bench --help`` for every option (smoke mode,
+baseline regression gating, grid selection).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

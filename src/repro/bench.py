@@ -1,0 +1,389 @@
+"""The ``repro bench`` performance harness.
+
+Measures the fast-path kernel and the sweep runtime against the
+reference cycle loop and writes a ``BENCH_*.json`` artifact (the
+committed ``BENCH_pr4.json`` at the repository root is this harness's
+output at the default size).  The ad-hoc ``benchmarks/perf_prN.py``
+scripts from earlier PRs are superseded: ``benchmarks/perf_pr4.py`` is a
+thin wrapper over this module.
+
+Three sections:
+
+* ``sweep_benchmarks`` — the sixteen-benchmark sweep with gated L1s and
+  a gated L2, timed end-to-end on the reference loop and on the fast
+  path, serially, with a result-equality check.  The fast path is timed
+  twice: *cold* (in-memory and on-disk trace caches cleared — every
+  trace compiled from its generator) and *warm* (on-disk ``.npz`` trace
+  cache populated — the steady state any second invocation enjoys).
+* ``l2_grid`` — a benchmark x L2-policy grid timed one run at a time.
+  The in-memory trace cache is cleared per benchmark; the on-disk cache
+  stays warm, mirroring how the runtime actually serves a policy grid.
+  Fast rows take the best of ``--repeats`` passes (wall-clock noise on
+  shared machines otherwise dominates the single-run numbers).  When a
+  previous ``BENCH_pr3.json`` is available its fast times are embedded
+  per row (``pr3_fast_s`` / ``vs_pr3``).
+* ``summary`` — geometric-mean speedups, the identity verdict, and the
+  ``vs_pr3`` geomean.
+
+Regression gating: ``--baseline PATH --tolerance F`` compares this
+run's summary speedups against a committed baseline's and fails (exit
+status 3) when they fall below ``baseline * F`` — CI runs a reduced
+``--smoke`` bench against ``benchmarks/perf_smoke_baseline.json`` with a
+generous tolerance, so only real regressions trip it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.registry import PolicySpec
+from repro.experiments.l2sweep import L2_POLICY_MENU, _policy_label as _label
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimEngine, execute_run, execute_run_fast
+from repro.sim.fastpath import clear_trace_cache, trace_cache_dir
+from repro.sim.metrics import RunResult, geometric_mean
+from repro.workloads.characteristics import benchmark_names
+
+__all__ = [
+    "add_bench_arguments",
+    "build_parser",
+    "main",
+    "run_bench",
+    "run_from_args",
+    "GRID_BENCHMARKS",
+    "SMOKE_GRID_BENCHMARKS",
+]
+
+#: Schema tag of the emitted artifact.
+SCHEMA = "repro-bench/pr4"
+
+#: Benchmark subset for the per-run grid (the full sixteen are covered
+#: by the sweep entry; the grid shows per-L2-policy behaviour).  Same
+#: grid as BENCH_pr3, so the two artifacts compare row for row.
+GRID_BENCHMARKS = ("gcc", "mcf", "art", "equake")
+
+#: Reduced grid for the CI perf-smoke job.
+SMOKE_GRID_BENCHMARKS = ("gcc", "art")
+
+#: L2 policies timed in the grid: the l2sweep experiment's axis,
+#: imported so the bench and the experiment can never drift apart.
+L2_GRID_POLICIES = L2_POLICY_MENU
+
+
+def _base_config(instructions: int, benchmark: str = "gcc",
+                 l2: Optional[PolicySpec] = None) -> SimulationConfig:
+    return SimulationConfig(
+        benchmark=benchmark,
+        dcache="gated",
+        icache="gated",
+        l2=l2 or PolicySpec("gated", {"threshold": 500}),
+        n_instructions=instructions,
+    )
+
+
+def _time_sweep(instructions: int, repeats: int, echo) -> dict:
+    base = _base_config(instructions)
+
+    clear_trace_cache()
+    start = time.perf_counter()
+    reference = SimEngine().sweep(base)
+    reference_s = time.perf_counter() - start
+
+    fast_cold_s = float("inf")
+    fast_warm_s = float("inf")
+    fast_cold = fast_warm = None
+    for _ in range(max(1, repeats)):
+        clear_trace_cache()  # cold: every trace compiled from its generator
+        start = time.perf_counter()
+        fast_cold = SimEngine(fast=True).sweep(base)
+        fast_cold_s = min(fast_cold_s, time.perf_counter() - start)
+
+        clear_trace_cache(disk=False)  # warm: traces load from the .npz cache
+        start = time.perf_counter()
+        fast_warm = SimEngine(fast=True).sweep(base)
+        fast_warm_s = min(fast_warm_s, time.perf_counter() - start)
+
+    identical = all(
+        fast_cold[name].to_dict() == reference[name].to_dict() == fast_warm[name].to_dict()
+        for name in reference
+    )
+    entry = {
+        "benchmarks": len(reference),
+        "l2_policy": _label(base.l2),
+        "reference_s": round(reference_s, 4),
+        "fast_s": round(fast_warm_s, 4),
+        "fast_cold_s": round(fast_cold_s, 4),
+        "speedup": round(reference_s / fast_warm_s, 3),
+        "speedup_cold": round(reference_s / fast_cold_s, 3),
+        "identical": identical,
+    }
+    echo(
+        f"  reference {reference_s:.2f}s  fast {fast_warm_s:.2f}s "
+        f"({entry['speedup']:.2f}x warm, {entry['speedup_cold']:.2f}x cold)  "
+        f"identical={identical}"
+    )
+    return entry
+
+
+def _load_pr3_grid(
+    path: Optional[Path], instructions: int
+) -> Dict[Tuple[str, str], float]:
+    """Per-(benchmark, policy-label) fast times from a BENCH_pr3 artifact.
+
+    Rows are only comparable at matching instruction counts, so a
+    compare artifact measured at a different size is ignored.
+    """
+    if path is None or not path.is_file():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if int(payload.get("instructions", -1)) != instructions:
+            return {}
+        return {
+            (row["benchmark"], row["l2_policy"]): float(row["fast_s"])
+            for row in payload.get("l2_grid", [])
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        # The compare artifact is optional; an unreadable one must not
+        # take the harness down.
+        return {}
+
+
+def _time_grid(
+    instructions: int,
+    grid_benchmarks: Sequence[str],
+    repeats: int,
+    pr3_times: Dict[Tuple[str, str], float],
+    echo,
+) -> List[dict]:
+    rows = []
+    for benchmark in grid_benchmarks:
+        reference_results: Dict[str, RunResult] = {}
+        reference_times: Dict[str, float] = {}
+        for l2_spec in L2_GRID_POLICIES:
+            config = _base_config(instructions, benchmark=benchmark, l2=l2_spec)
+            start = time.perf_counter()
+            reference_results[_label(l2_spec)] = execute_run(config)
+            reference_times[_label(l2_spec)] = time.perf_counter() - start
+        fast_times: Dict[str, float] = {}
+        fast_results: Dict[str, RunResult] = {}
+        for _ in range(max(1, repeats)):
+            # Per-benchmark cold in-memory cache; the on-disk cache stays
+            # warm, as in any real second invocation of a grid.
+            clear_trace_cache(disk=False)
+            for l2_spec in L2_GRID_POLICIES:
+                label = _label(l2_spec)
+                config = _base_config(instructions, benchmark=benchmark, l2=l2_spec)
+                start = time.perf_counter()
+                result = execute_run_fast(config)
+                elapsed = time.perf_counter() - start
+                fast_results[label] = result
+                if label not in fast_times or elapsed < fast_times[label]:
+                    fast_times[label] = elapsed
+        for l2_spec in L2_GRID_POLICIES:
+            label = _label(l2_spec)
+            reference_s = reference_times[label]
+            fast_s = fast_times[label]
+            row = {
+                "benchmark": benchmark,
+                "l2_policy": label,
+                "reference_s": round(reference_s, 4),
+                "fast_s": round(fast_s, 4),
+                "speedup": round(reference_s / fast_s, 3),
+                "identical": fast_results[label].to_dict()
+                == reference_results[label].to_dict(),
+            }
+            pr3_fast = pr3_times.get((benchmark, label))
+            if pr3_fast is not None:
+                row["pr3_fast_s"] = pr3_fast
+                row["vs_pr3"] = round(pr3_fast / fast_s, 3)
+            rows.append(row)
+            echo(
+                f"  {benchmark:8s} L2={label:16s} {reference_s:7.3f}s -> "
+                f"{fast_s:7.3f}s  {row['speedup']:5.2f}x"
+                + (f"  (pr3 fast {pr3_fast:.3f}s, {row['vs_pr3']:.2f}x)"
+                   if pr3_fast is not None else "")
+            )
+    return rows
+
+
+def _check_baseline(summary: dict, baseline_path: Path, tolerance: float, echo) -> List[str]:
+    """Compare summary speedups against a baseline artifact's."""
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))["summary"]
+    except (OSError, ValueError, KeyError) as error:
+        return [f"cannot read baseline {baseline_path}: {error}"]
+    failures = []
+    for field in ("grid_geomean_speedup", "sweep_speedup"):
+        reference = baseline.get(field)
+        measured = summary.get(field)
+        if reference is None or measured is None:
+            continue
+        floor = reference * tolerance
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        echo(f"  {field}: {measured:.2f} vs baseline {reference:.2f} "
+             f"(floor {floor:.2f}) {verdict}")
+        if measured < floor:
+            failures.append(
+                f"{field} regressed: {measured:.2f} < {floor:.2f} "
+                f"(baseline {reference:.2f} x tolerance {tolerance})"
+            )
+    return failures
+
+
+def run_bench(
+    instructions: int = 30_000,
+    output: str = "BENCH_pr4.json",
+    grid_benchmarks: Sequence[str] = GRID_BENCHMARKS,
+    repeats: int = 2,
+    compare: Optional[str] = "BENCH_pr3.json",
+    baseline: Optional[str] = None,
+    tolerance: float = 0.5,
+    echo=print,
+) -> Tuple[dict, int]:
+    """Run the harness; returns ``(payload, exit_status)``.
+
+    Exit status: ``0`` on success, ``1`` when the fast path diverged
+    from the reference loop, ``3`` on a baseline regression.
+    """
+    echo(f"timing sweep_benchmarks with gated L2 ({len(benchmark_names())} "
+         f"benchmarks, {instructions} ops each, fast best of {max(1, repeats)})...")
+    sweep = _time_sweep(instructions, repeats, echo)
+
+    echo("timing benchmark x L2-policy grid "
+         f"(best of {max(1, repeats)} fast passes, disk cache warm)...")
+    pr3_times = _load_pr3_grid(Path(compare) if compare else None, instructions)
+    rows = _time_grid(instructions, grid_benchmarks, repeats, pr3_times, echo)
+
+    speedups = [row["speedup"] for row in rows]
+    vs_pr3 = [row["vs_pr3"] for row in rows if "vs_pr3" in row]
+    summary = {
+        "grid_geomean_speedup": round(geometric_mean(speedups), 3),
+        "grid_min_speedup": min(speedups),
+        "grid_max_speedup": max(speedups),
+        "sweep_speedup": sweep["speedup"],
+        "sweep_speedup_cold": sweep["speedup_cold"],
+        "all_identical": sweep["identical"] and all(r["identical"] for r in rows),
+    }
+    if vs_pr3:
+        summary["vs_pr3_grid_geomean"] = round(geometric_mean(vs_pr3), 3)
+    payload = {
+        "schema": SCHEMA,
+        "instructions": instructions,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "trace_cache": {
+            "dir": str(trace_cache_dir()) if trace_cache_dir() else None,
+        },
+        "sweep_benchmarks": sweep,
+        "l2_grid": rows,
+        "summary": summary,
+    }
+    Path(output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    echo(f"wrote {output}")
+
+    status = 0
+    if baseline:
+        echo(f"checking against baseline {baseline} (tolerance {tolerance})...")
+        failures = _check_baseline(summary, Path(baseline), tolerance, echo)
+        if failures:
+            for failure in failures:
+                echo(f"ERROR: {failure}")
+            status = 3
+    if not summary["all_identical"]:
+        echo("ERROR: fast path diverged from the reference path")
+        status = 1
+    return payload, status
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the harness's options (shared with the ``repro`` CLI)."""
+    parser.add_argument(
+        "--instructions", type=int, default=None,
+        help="micro-ops per run (default: 30000, the experiments' "
+             "default; 6000 under --smoke)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_pr4.json", metavar="PATH",
+        help="destination JSON (default: BENCH_pr4.json)",
+    )
+    parser.add_argument(
+        "--grid-benchmarks", default=None, metavar="A,B,...",
+        help=f"grid benchmark subset (default: {','.join(GRID_BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="fast-path passes per section, best taken (default: 2; "
+             "1 under --smoke)",
+    )
+    parser.add_argument(
+        "--compare", default="BENCH_pr3.json", metavar="PATH",
+        help="previous bench artifact for per-row vs_pr3 ratios "
+             "(default: BENCH_pr3.json; missing file is fine)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline BENCH json; exit 3 when summary speedups fall "
+             "below baseline x tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="baseline tolerance factor (default: 0.5 — generous, for "
+             "noisy CI machines)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced settings for CI (fewer instructions, smaller grid, "
+             "one fast pass)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description=__doc__.splitlines()[0]
+    )
+    add_bench_arguments(parser)
+    return parser
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute the harness from parsed arguments (CLI integration point)."""
+    # --smoke only fills in values the user did not give explicitly.
+    if args.smoke:
+        if args.instructions is None:
+            args.instructions = 6_000
+        if args.grid_benchmarks is None:
+            args.grid_benchmarks = ",".join(SMOKE_GRID_BENCHMARKS)
+        if args.repeats is None:
+            args.repeats = 1
+    if args.instructions is None:
+        args.instructions = 30_000
+    if args.repeats is None:
+        args.repeats = 2
+    grid = (
+        tuple(name.strip() for name in args.grid_benchmarks.split(",") if name.strip())
+        if args.grid_benchmarks
+        else GRID_BENCHMARKS
+    )
+    _, status = run_bench(
+        instructions=args.instructions,
+        output=args.output,
+        grid_benchmarks=grid,
+        repeats=args.repeats,
+        compare=args.compare,
+        baseline=args.baseline,
+        tolerance=args.tolerance,
+    )
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (used by ``repro bench`` and ``benchmarks/perf_pr4.py``)."""
+    return run_from_args(build_parser().parse_args(argv))

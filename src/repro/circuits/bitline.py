@@ -20,6 +20,7 @@ the paper measures ultimately reduces to four bitline quantities:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from math import exp, expm1
 
 from .precharge_device import PrechargeDevice, DEFAULT_SIZE_RATIO
@@ -77,12 +78,12 @@ class Bitline:
     # ------------------------------------------------------------------
     # Components
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def cell(self) -> SRAMCell:
         """The SRAM cell model attached to this bitline."""
         return SRAMCell(tech=self.tech, ports=self.ports)
 
-    @property
+    @cached_property
     def precharge_device(self) -> PrechargeDevice:
         """The precharge device at the top of this bitline.
 
@@ -98,7 +99,7 @@ class Bitline:
             size_ratio=self.precharge_size_ratio * scale,
         )
 
-    @property
+    @cached_property
     def wire(self) -> Wire:
         """The bitline metal wire spanning all attached rows."""
         length_um = self.rows * CELL_HEIGHT_IN_FEATURES * self.tech.feature_size_um
@@ -107,7 +108,7 @@ class Bitline:
     # ------------------------------------------------------------------
     # Capacitance and stored energy
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def capacitance_f(self) -> float:
         """Total bitline capacitance in farads."""
         cell_caps = self.rows * self.cell.drain_cap_ff * 1e-15
@@ -118,7 +119,7 @@ class Bitline:
         )
         return cell_caps + self.wire.capacitance_f + fixed
 
-    @property
+    @cached_property
     def stored_energy_j(self) -> float:
         """Energy (J) stored on a fully precharged bitline."""
         vdd = self.tech.supply_voltage
@@ -127,12 +128,12 @@ class Bitline:
     # ------------------------------------------------------------------
     # Leakage / discharge
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def leakage_current_a(self) -> float:
         """Total leakage current (A) drawn from a fully pulled-up bitline."""
         return self.rows * self.cell.bitline_leakage_current_a
 
-    @property
+    @cached_property
     def static_discharge_power_w(self) -> float:
         """Bitline discharge power (W) under static pull-up.
 
@@ -142,12 +143,12 @@ class Bitline:
         """
         return self.leakage_current_a * self.tech.supply_voltage
 
-    @property
+    @cached_property
     def leakage_conductance_s(self) -> float:
         """Effective leakage conductance (Siemens) seen by the bitline."""
         return self.leakage_current_a / self.tech.supply_voltage
 
-    @property
+    @cached_property
     def decay_time_constant_s(self) -> float:
         """RC time constant (s) of an isolated bitline's voltage decay."""
         return self.capacitance_f / self.leakage_conductance_s
@@ -191,7 +192,7 @@ class Bitline:
     # ------------------------------------------------------------------
     # Precharge timing and energy
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def worst_case_pull_up_s(self) -> float:
         """Time (s) to pull up a fully discharged bitline to Vdd.
 
@@ -205,7 +206,7 @@ class Bitline:
         )
         return _PULL_UP_CALIBRATION * raw
 
-    @property
+    @cached_property
     def active_read_restore_s(self) -> float:
         """Time (s) to restore the small swing left by an active cell read.
 
@@ -230,7 +231,7 @@ class Bitline:
         dv = self.tech.supply_voltage - self.voltage_after_isolation(idle_s)
         return self.capacitance_f * self.tech.supply_voltage * dv
 
-    @property
+    @cached_property
     def isolation_toggle_energy_j(self) -> float:
         """Gate-switching energy (J) of one isolate/precharge toggle pair."""
         return 2.0 * self.precharge_device.switching_energy_j

@@ -15,8 +15,9 @@ per-subarray numbers the architectural energy accounting consumes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import cached_property, lru_cache
 from math import ceil
+from typing import Dict
 
 from .bitline import Bitline
 from .decoder import DecoderTiming, decoder_timing
@@ -81,17 +82,17 @@ class SubarrayCircuit:
     # ------------------------------------------------------------------
     # Component models
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def bitline(self) -> Bitline:
         """The representative bitline of this subarray."""
         return Bitline(tech=self.tech, rows=self.rows, ports=self.ports)
 
-    @property
+    @cached_property
     def sense_amp(self) -> SenseAmplifier:
         """The column sense amplifier."""
         return SenseAmplifier(tech=self.tech)
 
-    @property
+    @cached_property
     def decoder(self) -> DecoderTiming:
         """Decoder timing for the cache this subarray belongs to."""
         return decoder_timing(
@@ -103,15 +104,23 @@ class SubarrayCircuit:
     # ------------------------------------------------------------------
     # Static (discharge) energy
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def static_discharge_power_w(self) -> float:
         """Bitline discharge power (W) of the whole subarray when pulled up."""
         return self.total_bitlines * self.bitline.static_discharge_power_w
 
-    @property
+    @cached_property
     def static_discharge_energy_per_cycle_j(self) -> float:
         """Bitline discharge energy (J) per clock cycle when pulled up."""
         return self.static_discharge_power_w * self.tech.cycle_time_s
+
+    @cached_property
+    def _isolated_energy_memo(self) -> "Dict[float, float]":
+        # Inter-access gap lengths repeat heavily within a run, and this
+        # integral sits on the architectural simulation's innermost loop;
+        # memoising per distinct gap returns the identical float object,
+        # so results stay bit-for-bit equal to the uncached computation.
+        return {}
 
     def isolated_discharge_energy_j(self, idle_cycles: float) -> float:
         """Residual bitline discharge (J) over ``idle_cycles`` of isolation.
@@ -121,13 +130,18 @@ class SubarrayCircuit:
         """
         if idle_cycles < 0:
             raise ValueError("idle_cycles must be non-negative")
-        idle_s = idle_cycles * self.tech.cycle_time_s
-        return self.total_bitlines * self.bitline.isolated_discharge_energy_j(idle_s)
+        memo = self._isolated_energy_memo
+        energy = memo.get(idle_cycles)
+        if energy is None:
+            idle_s = idle_cycles * self.tech.cycle_time_s
+            energy = self.total_bitlines * self.bitline.isolated_discharge_energy_j(idle_s)
+            memo[idle_cycles] = energy
+        return energy
 
     # ------------------------------------------------------------------
     # Isolation toggle overhead
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def toggle_switching_energy_j(self) -> float:
         """Gate energy (J) of one isolate-then-restore toggle of all devices."""
         return self.total_bitlines * self.bitline.isolation_toggle_energy_j
@@ -142,7 +156,7 @@ class SubarrayCircuit:
     # ------------------------------------------------------------------
     # Dynamic access energy
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def read_access_energy_j(self) -> float:
         """Dynamic energy (J) of one read access to this subarray.
 
@@ -170,12 +184,12 @@ class SubarrayCircuit:
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def worst_case_pull_up_s(self) -> float:
         """Worst-case bitline pull-up time in seconds (Table 3)."""
         return self.bitline.worst_case_pull_up_s
 
-    @property
+    @cached_property
     def pull_up_cycles(self) -> int:
         """Extra cycles to access an isolated (possibly discharged) subarray.
 

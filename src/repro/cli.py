@@ -11,6 +11,7 @@ Reproduce the paper from a shell::
     python -m repro experiment l2sweep --fast
     python -m repro experiment --list
     python -m repro policies
+    python -m repro bench --smoke --output BENCH_smoke.json
     python -m repro trace record --benchmark gcc --out gcc.trace.gz
     python -m repro run --benchmark trace:gcc.trace.gz
     python -m repro regen-goldens
@@ -32,6 +33,8 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from repro.bench import run_from_args as _cmd_bench
+from repro.bench import add_bench_arguments
 from repro.circuits.technology import get_technology
 from repro.core.registry import PolicySpec, get_policy_info, policy_names
 from repro.experiments.registry import ExperimentOptions, experiment_names, get_experiment
@@ -218,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
     policies.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON on stdout"
     )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the performance harness and write a BENCH_*.json artifact",
+    )
+    add_bench_arguments(bench)
 
     trace = subparsers.add_parser(
         "trace", help="record or inspect compressed .trace.gz micro-op traces"
@@ -438,6 +447,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "experiment": _cmd_experiment,
     "policies": _cmd_policies,
+    "bench": _cmd_bench,
     "trace": _cmd_trace,
     "regen-goldens": _cmd_regen_goldens,
 }

@@ -82,11 +82,13 @@ class GatedPrechargePolicy(BasePrechargePolicy):
         address: Optional[int] = None,
     ) -> int:
         interval = gap if gap is not None else cycle
-        was_isolated = self._account_gated_interval(
-            subarray, interval, self.threshold
-        )
-        if not was_isolated:
+        ledger = self.ledger
+        assert ledger is not None
+        # note_gated_interval fuses the precharged/isolated/toggle
+        # accounting (same arithmetic, same order) for this hot path.
+        if not ledger.note_gated_interval(subarray, interval, self.threshold):
             return 0
+        self.stats.toggles += 1
 
         # The subarray had been isolated: normally the access is delayed by
         # the pull-up.  With predecoding, a correct early identification

@@ -42,8 +42,13 @@ class OnDemandPrechargePolicy(BasePrechargePolicy):
         address: Optional[int] = None,
     ) -> int:
         interval = gap if gap is not None else cycle
-        self._account_gated_interval(subarray, interval, self.hold_cycles)
-        return self.penalty_cycles_per_delayed_access
+        ledger = self.ledger
+        assert ledger is not None
+        # Fused accounting call (same arithmetic and order as the
+        # note_precharged/note_isolated/note_toggle sequence).
+        if ledger.note_gated_interval(subarray, interval, self.hold_cycles):
+            self.stats.toggles += 1
+        return self._penalty_cycles_per_miss
 
     def _on_finalize_subarray(
         self, subarray: int, remaining_cycles: int, never_accessed: bool

@@ -46,7 +46,12 @@ class OraclePrechargePolicy(BasePrechargePolicy):
         address: Optional[int] = None,
     ) -> int:
         interval = gap if gap is not None else cycle
-        self._account_gated_interval(subarray, interval, self.hold_cycles)
+        ledger = self.ledger
+        assert ledger is not None
+        # Fused accounting call (same arithmetic and order as the
+        # note_precharged/note_isolated/note_toggle sequence).
+        if ledger.note_gated_interval(subarray, interval, self.hold_cycles):
+            self.stats.toggles += 1
         return 0
 
     def _on_finalize_subarray(

@@ -93,20 +93,33 @@ class BasePrechargePolicy(ABC):
         address: Optional[int] = None,
     ) -> int:
         """Record an access and return the extra latency it pays (cycles)."""
-        self._require_attached()
-        self.stats.accesses += 1
-        previous = self._last_access[subarray]
+        try:
+            previous = self._last_access[subarray]
+        except (IndexError, TypeError):
+            # Unattached policies keep the documented RuntimeError with
+            # stats untouched; an out-of-range subarray on an attached
+            # policy re-raises after counting, as it always did.
+            self._require_attached()
+            self.stats.accesses += 1
+            raise
+        stats = self.stats
+        stats.accesses += 1
         # A subarray that has never been accessed has been sitting in its
         # reset state (precharged, with the policy applied) since cycle 0;
         # treat the elapsed time as a normal inter-access gap.
-        gap = cycle if previous is None else max(0, cycle - previous)
+        if previous is None:
+            gap = cycle
+        else:
+            gap = cycle - previous
+            if gap < 0:
+                gap = 0
         penalty = self._on_access(
             subarray, cycle, gap, base_address=base_address, address=address
         )
         self._last_access[subarray] = cycle
         if penalty > 0:
-            self.stats.delayed_accesses += 1
-            self.stats.penalty_cycles += penalty
+            stats.delayed_accesses += 1
+            stats.penalty_cycles += penalty
         return penalty
 
     def note_outcome(self, hit: bool, cycle: int) -> None:
@@ -185,17 +198,12 @@ class BasePrechargePolicy(ABC):
         Returns ``True`` when the interval ended with the subarray isolated
         (i.e. the precharge devices were toggled during the interval).
         """
-        assert self.ledger is not None
-        if interval <= hold_cycles:
-            if interval > 0:
-                self.ledger.note_precharged_interval(subarray, interval)
-            return False
-        if hold_cycles > 0:
-            self.ledger.note_precharged_interval(subarray, hold_cycles)
-        self.ledger.note_isolated_interval(subarray, interval - hold_cycles)
-        self.ledger.note_toggle(subarray)
-        self.stats.toggles += 1
-        return True
+        ledger = self.ledger
+        assert ledger is not None
+        if ledger.note_gated_interval(subarray, interval, hold_cycles):
+            self.stats.toggles += 1
+            return True
+        return False
 
     @property
     def penalty_cycles_per_delayed_access(self) -> int:

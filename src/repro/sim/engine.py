@@ -8,9 +8,15 @@ an object:
   per experiment);
 * an optional on-disk :class:`~repro.sim.store.ResultStore`, consulted
   before computing and updated after, so sweeps resume across processes;
-* :meth:`run_many` / :meth:`sweep` fan-out that executes configurations
-  in parallel worker processes (the runs are independent and seeded, so
-  parallel results are bit-identical to serial ones).
+* :meth:`run_many` / :meth:`sweep` fan-out over a **persistent,
+  reusable process pool**: worker processes are forked once and reused
+  across calls, pending work is grouped into trace-affine chunks whose
+  estimated cost drives a longest-first submission order (idle workers
+  steal the next chunk, so one slow benchmark cannot serialise a
+  sweep), and compiled traces reach workers through the on-disk trace
+  cache (bytes, not generators — see :mod:`repro.sim.fastpath`).  The
+  runs are independent and seeded, so parallel results are bit-identical
+  to serial ones.
 
 The module-level :func:`repro.sim.runner.run_simulation` is a thin shim
 over :func:`default_engine`, so existing call sites keep the memoisation
@@ -19,10 +25,13 @@ behaviour they had.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import threading
+import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -31,11 +40,11 @@ from repro.cache.hierarchy import MemoryHierarchy
 from repro.circuits.technology import get_technology
 from repro.cpu.pipeline import OutOfOrderPipeline
 from repro.energy.cache_energy import combine_run_energy
-from repro.workloads.characteristics import benchmark_names
+from repro.workloads.characteristics import benchmark_names, get_benchmark
 from repro.workloads.synthetic import make_workload
 
 from .config import SimulationConfig
-from .fastpath import execute_run_fast
+from .fastpath import _trace_cache_key, execute_run_fast
 from .metrics import RunResult
 from .store import ResultStore
 
@@ -107,12 +116,49 @@ def _worker_context():
     plugins) work in parallel sweeps.  On spawn-only platforms workers
     re-import :mod:`repro`, which registers the built-ins; runtime
     registrations must live in an importable module to participate
-    (the standard multiprocessing caveat).
+    (the standard multiprocessing caveat).  Because the engine's pool is
+    persistent, registrations made *after* the pool first spins up reach
+    workers only after :meth:`SimEngine.close` recycles it.
     """
     try:
         return multiprocessing.get_context("fork")
     except ValueError:
         return multiprocessing.get_context()
+
+
+def _execute_chunk(payload: Tuple[bool, List[SimulationConfig]]) -> List[RunResult]:
+    """Worker-side entry: run one trace-affine chunk of configurations.
+
+    Chunks group configurations that share a compiled trace, so a worker
+    pays the trace load (from the on-disk cache, usually) once per chunk
+    rather than once per configuration.
+    """
+    fast, chunk = payload
+    runner = execute_run_fast if fast else execute_run
+    return [runner(config) for config in chunk]
+
+
+def _estimated_cost(config: SimulationConfig) -> float:
+    """Relative wall-clock estimate for one run (for longest-first order).
+
+    Memory-bound benchmarks with large footprints simulate several times
+    slower than cache-friendly ones; weighting by memory-operation
+    fraction and data footprint orders chunks well enough that the
+    longest work starts first and the pool drains evenly.  Scenario and
+    trace workloads fall back to a mid-heavy constant.
+    """
+    try:
+        traits = get_benchmark(config.benchmark)
+    except KeyError:
+        weight = 2.0
+    else:
+        weight = 1.0 + 2.0 * (traits.load_fraction + traits.store_fraction)
+        weight += min(2.0, traits.data_footprint_bytes / (512 * 1024))
+    return config.n_instructions * weight
+
+
+def _shutdown_executor(pool: ProcessPoolExecutor) -> None:
+    pool.shutdown(wait=False)
 
 
 class SimEngine:
@@ -148,11 +194,63 @@ class SimEngine:
         self.store = ResultStore(store) if isinstance(store, (str, Path)) else store
         self._cache: "OrderedDict[Tuple, RunResult]" = OrderedDict()
         self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        self._pool_lock = threading.Lock()
+        self._pool_finalizer: Optional[weakref.finalize] = None
         self.stats: Dict[str, int] = {
             "memory_hits": 0,
             "store_hits": 0,
             "computed": 0,
         }
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def _executor(self, workers: int) -> ProcessPoolExecutor:
+        """The persistent worker pool, (re)created on first use.
+
+        Workers are forked once and reused across :meth:`run_many` /
+        :meth:`sweep` calls — repeated sweeps stop paying process
+        start-up, and forked workers inherit already-compiled traces.
+        Asking for a different worker count recycles the pool.
+        """
+        with self._pool_lock:
+            if self._pool is not None and self._pool_workers != workers:
+                self._close_pool_locked(wait=False)
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=_worker_context()
+                )
+                self._pool_workers = workers
+                self._pool_finalizer = weakref.finalize(
+                    self, _shutdown_executor, self._pool
+                )
+            return self._pool
+
+    def _close_pool_locked(self, wait: bool) -> None:
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+            self._pool_workers = 0
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent).
+
+        The engine stays usable — the next parallel call simply forks a
+        fresh pool (picking up e.g. newly registered policies).
+        """
+        with self._pool_lock:
+            self._close_pool_locked(wait=True)
+
+    def __enter__(self) -> "SimEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -250,15 +348,14 @@ class SimEngine:
 
         todo = list(pending_configs.items())
         if todo:
-            todo_configs = [config for _, config in todo]
             if workers > 1 and len(todo) > 1:
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(todo)),
-                    mp_context=_worker_context(),
-                ) as executor:
-                    computed = list(executor.map(runner, todo_configs))
+                computed = self._run_parallel(
+                    [config for _, config in todo],
+                    workers,
+                    fast=runner is execute_run_fast,
+                )
             else:
-                computed = [runner(config) for config in todo_configs]
+                computed = [runner(config) for _, config in todo]
             for (key, config), result in zip(todo, computed):
                 self._bump("computed")
                 if use_cache:
@@ -268,6 +365,82 @@ class SimEngine:
                 for index in pending[key]:
                     results[index] = result
         return results  # type: ignore[return-value]
+
+    def _run_parallel(
+        self, configs: List[SimulationConfig], workers: int, fast: bool
+    ) -> List[RunResult]:
+        """Execute ``configs`` on the persistent pool; results in input order.
+
+        The work is grouped into *trace-affine* chunks (configurations
+        sharing a compiled trace land in the same chunk, so each chunk
+        pays at most one trace load), the chunks are submitted
+        longest-estimated-first, and idle workers pick up the next
+        pending chunk — work stealing at chunk granularity.  Each chunk
+        carries its configs' original input indices, so reassembly is
+        order-correct even when the input interleaves benchmarks (a
+        policy-major grid).  A broken pool (e.g. a worker killed by the
+        OOM killer) degrades to serial in-process execution instead of
+        failing the sweep.
+        """
+        chunks = self._make_chunks(configs, workers)
+        executor = self._executor(workers)
+        results: List[Optional[RunResult]] = [None] * len(configs)
+        futures = [
+            (indices, executor.submit(_execute_chunk, (fast, chunk)))
+            for indices, chunk in chunks
+        ]
+        try:
+            for indices, future in futures:
+                for index, result in zip(indices, future.result()):
+                    results[index] = result
+        except BrokenProcessPool:
+            self.close()
+            runner = execute_run_fast if fast else execute_run
+            for indices, chunk in chunks:
+                for index, config in zip(indices, chunk):
+                    if results[index] is None:
+                        results[index] = runner(config)
+        except BaseException:
+            # A failing chunk (bad config, kill signal) must not leave
+            # the other submitted chunks running unattended on the
+            # persistent pool, where they would steal CPU from — and
+            # queue ahead of — the caller's next run_many.
+            for _, future in futures:
+                future.cancel()
+            raise
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _make_chunks(
+        configs: List[SimulationConfig], workers: int
+    ) -> List[Tuple[List[int], List[SimulationConfig]]]:
+        """Split work into cost-sorted, trace-affine chunks.
+
+        Returns ``(input_indices, chunk)`` pairs — parallel lists, so
+        every chunk result can be written back to its config's original
+        position; the returned list is ordered longest-estimated-first
+        for submission.
+        """
+        # Group by compiled-trace identity, preserving input order.
+        groups: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        for index, config in enumerate(configs):
+            groups.setdefault(
+                _trace_cache_key(config.benchmark, config.seed), []
+            ).append(index)
+        # Aim for a few chunks per worker so stealing can level the load
+        # without shattering trace affinity.
+        target_chunks = max(workers * 3, 1)
+        chunk_size = max(1, math.ceil(len(configs) / target_chunks))
+        chunks: List[Tuple[List[int], List[SimulationConfig]]] = []
+        for group in groups.values():
+            for start in range(0, len(group), chunk_size):
+                indices = group[start:start + chunk_size]
+                chunks.append((indices, [configs[i] for i in indices]))
+        chunks.sort(
+            key=lambda entry: sum(_estimated_cost(c) for c in entry[1]),
+            reverse=True,
+        )
+        return chunks
 
     def sweep(
         self,

@@ -62,6 +62,7 @@ def sweep_benchmarks(
     benchmarks: Optional[Sequence[str]] = None,
     engine: Optional[SimEngine] = None,
     workers: Optional[int] = None,
+    fast: Optional[bool] = None,
 ) -> Dict[str, RunResult]:
     """Run ``base_config`` for every benchmark in ``benchmarks``.
 
@@ -71,12 +72,14 @@ def sweep_benchmarks(
         benchmarks: Benchmark names; defaults to all sixteen.
         engine: Engine to run on; defaults to the process-wide engine.
         workers: Worker processes; defaults to the engine's setting.
+        fast: Execution-path override (batched fast kernel vs reference
+            loop); defaults to the engine's setting.
 
     Returns:
         Mapping from benchmark name to its :class:`RunResult`.
     """
     engine = default_engine() if engine is None else engine
-    return engine.sweep(base_config, benchmarks=benchmarks, workers=workers)
+    return engine.sweep(base_config, benchmarks=benchmarks, workers=workers, fast=fast)
 
 
 def select_benchmark_thresholds(

@@ -2,12 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cache.energy_accounting import EnergyLedger
 from repro.circuits.cacti import CacheOrganization, cache_organization
 from repro.circuits.technology import get_technology
 from repro.sim import SimulationConfig, run_simulation
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Point the on-disk trace cache at a per-session scratch directory.
+
+    Keeps the suite from reading (or polluting) the developer's real
+    ``~/.cache/repro/traces``; the environment variable is set too so
+    subprocess-spawning tests inherit the isolation.
+    """
+    from repro.sim import fastpath
+
+    path = tmp_path_factory.mktemp("trace-cache")
+    os.environ[fastpath._DISK_CACHE_ENV] = str(path)
+    fastpath.set_trace_cache_dir(path)
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -45,6 +45,7 @@ def test_docs_directory_is_populated() -> None:
         "workloads.md",
         "experiments.md",
         "quickstart.md",
+        "performance.md",
     } <= names
 
 

@@ -217,3 +217,52 @@ class TestPoliciesCommand:
         payload = json.loads(out)
         assert payload["gated"]["defaults"]["threshold"] == 100
         assert payload["on-demand"]["scheduler_extra_latency"] == 1
+
+
+class TestBenchCommand:
+    def test_smoke_bench_writes_artifact(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_test.json"
+        status, out = run_cli(
+            capsys, "bench", "--smoke", "--instructions", "400",
+            "--grid-benchmarks", "gcc", "--output", str(output),
+            "--compare", str(tmp_path / "missing.json"),
+        )
+        assert status == 0
+        payload = json.loads(output.read_text())
+        assert payload["schema"] == "repro-bench/pr4"
+        assert payload["summary"]["all_identical"] is True
+        assert payload["sweep_benchmarks"]["speedup"] > 0
+        assert len(payload["l2_grid"]) == 5  # one benchmark x five L2 policies
+        assert "wrote" in out
+
+    def test_baseline_regression_trips_exit_3(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "summary": {"grid_geomean_speedup": 10_000.0, "sweep_speedup": 10_000.0}
+        }))
+        output = tmp_path / "BENCH_test.json"
+        status, out = run_cli(
+            capsys, "bench", "--smoke", "--instructions", "400",
+            "--grid-benchmarks", "gcc", "--output", str(output),
+            "--compare", str(tmp_path / "missing.json"),
+            "--baseline", str(baseline), "--tolerance", "0.5",
+        )
+        assert status == 3
+        assert "REGRESSION" in out
+
+    def test_vs_pr3_requires_matching_instruction_counts(self, capsys, tmp_path):
+        compare = tmp_path / "BENCH_prev.json"
+        compare.write_text(json.dumps({
+            "instructions": 999_999,
+            "l2_grid": [{"benchmark": "gcc", "l2_policy": "static", "fast_s": 1.0}],
+        }))
+        output = tmp_path / "BENCH_test.json"
+        status, _ = run_cli(
+            capsys, "bench", "--smoke", "--instructions", "400",
+            "--grid-benchmarks", "gcc", "--output", str(output),
+            "--compare", str(compare),
+        )
+        assert status == 0
+        payload = json.loads(output.read_text())
+        assert all("vs_pr3" not in row for row in payload["l2_grid"])
+        assert "vs_pr3_grid_geomean" not in payload["summary"]

@@ -1,0 +1,256 @@
+"""The compiled-trace caches: typed columns, disk persistence, eviction.
+
+Pins the PR-4 trace-cache contract:
+
+* numpy-backed (``from_columns`` over ``int64`` arrays) and pure-Python
+  compiled traces yield identical ``micro_op()`` streams *and* identical
+  precomputed predictor columns (property-based);
+* a trace persisted to the on-disk ``.npz`` cache round-trips — a fresh
+  in-memory cache loads it and produces bit-identical runs;
+* corrupted, truncated or key-mismatched ``.npz`` entries are evicted
+  and recompiled instead of poisoning results;
+* ``clear_trace_cache()`` clears the disk cache too, and re-recorded
+  ``trace:`` files never serve stale entries (file identity is part of
+  the key, hence of the disk filename);
+* everything still works with numpy absent (disk cache disabled).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.sim.fastpath as fastpath
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import execute_run, execute_run_fast
+from repro.sim.fastpath import (
+    CompiledTrace,
+    clear_trace_cache,
+    compiled_trace_for,
+    set_trace_cache_dir,
+    trace_cache_dir,
+)
+from repro.workloads.trace import (
+    OP_ALU,
+    OP_BRANCH,
+    OP_LOAD,
+    OP_STORE,
+    OP_TYPES,
+    MicroOp,
+)
+from repro.workloads.tracefile import record_benchmark
+
+try:
+    import numpy
+except ImportError:  # pragma: no cover - the no-numpy CI leg
+    numpy = None
+
+requires_numpy = pytest.mark.skipif(
+    numpy is None, reason="typed-array export and the .npz cache need numpy"
+)
+
+
+@pytest.fixture()
+def disk_cache(tmp_path):
+    """Point the disk cache at a private directory for one test."""
+    previous = fastpath._DISK_DIR_OVERRIDE
+    set_trace_cache_dir(tmp_path)
+    clear_trace_cache(disk=False)
+    yield tmp_path
+    clear_trace_cache(disk=False)
+    fastpath._DISK_DIR_OVERRIDE = previous
+
+
+def _config(benchmark="gcc", n=1_500):
+    return SimulationConfig(
+        benchmark=benchmark, dcache="gated", icache="gated", n_instructions=n
+    )
+
+
+# ----------------------------------------------------------------------
+# Typed-array columns
+# ----------------------------------------------------------------------
+_micro_ops = st.builds(
+    MicroOp,
+    op_type=st.sampled_from(OP_TYPES),
+    pc=st.integers(min_value=0, max_value=1 << 22).map(lambda v: v * 4),
+    dest=st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+    src1=st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+    src2=st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+    address=st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 24)),
+    base_address=st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 24)),
+    taken=st.booleans(),
+    target=st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 24)),
+)
+
+
+@requires_numpy
+class TestTypedColumns:
+    @given(ops=st.lists(_micro_ops, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_numpy_and_pure_python_columns_equal(self, ops):
+        """int64-array-backed and list-backed traces are indistinguishable."""
+        compiled = CompiledTrace(iter(ops))
+        compiled.ensure(len(ops))
+        arrays = compiled.column_arrays()
+        assert all(a.dtype == numpy.int64 for a in arrays.values())
+        rebuilt = CompiledTrace.from_columns(arrays, exhausted=True)
+        assert rebuilt.rows == compiled.rows == len(ops)
+        for index in range(len(ops)):
+            assert rebuilt.micro_op(index) == compiled.micro_op(index) == ops[index]
+        # The derived predictor / fetch-batching columns are pure
+        # functions of the base columns, so they must match too.
+        assert rebuilt.mispred == compiled.mispred
+        assert rebuilt.br_pref == compiled.br_pref
+        assert rebuilt.mp_pref == compiled.mp_pref
+        assert rebuilt.terms == compiled.terms
+        assert rebuilt._bimodal == compiled._bimodal
+        assert rebuilt._gshare == compiled._gshare
+        assert rebuilt._chooser == compiled._chooser
+        assert rebuilt._history == compiled._history
+
+    def test_from_columns_rejects_mismatched_lengths(self):
+        compiled = CompiledTrace(iter([MicroOp(OP_ALU, pc=0)]))
+        compiled.ensure(1)
+        columns = {name: list(getattr(compiled, name)) for name in fastpath.COLUMN_NAMES}
+        columns["pc"] = columns["pc"] + [4]
+        with pytest.raises(ValueError, match="mismatched"):
+            CompiledTrace.from_columns(columns, exhausted=True)
+
+    def test_from_columns_without_source_cannot_extend(self):
+        compiled = CompiledTrace(iter([MicroOp(OP_ALU, pc=0)]))
+        compiled.ensure(1)
+        rebuilt = CompiledTrace.from_columns(compiled.column_arrays(), exhausted=False)
+        with pytest.raises(RuntimeError, match="continuation source"):
+            rebuilt.ensure(5)
+
+
+# ----------------------------------------------------------------------
+# Disk cache round-trip
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestDiskCache:
+    def test_run_persists_and_reloads(self, disk_cache):
+        config = _config()
+        reference = execute_run(config)
+        first = execute_run_fast(config)
+        entries = list(disk_cache.glob("trace-*.npz"))
+        assert len(entries) == 1, "the run should persist its compiled trace"
+
+        compiled = compiled_trace_for("gcc")
+        clear_trace_cache(disk=False)  # drop memory, keep the .npz
+        reloaded_trace = compiled_trace_for("gcc")
+        assert reloaded_trace is not compiled
+        assert reloaded_trace.rows == compiled.rows
+        for name in fastpath.COLUMN_NAMES:
+            assert getattr(reloaded_trace, name) == getattr(compiled, name)
+
+        reloaded = execute_run_fast(config)
+        assert first.to_dict() == reloaded.to_dict() == reference.to_dict()
+
+    def test_loaded_prefix_extends_through_source_factory(self, disk_cache):
+        short = _config(n=600)
+        execute_run_fast(short)
+        clear_trace_cache(disk=False)
+        # Columns materialise in 8192-row chunks, so a 12k-instruction
+        # run needs rows beyond the persisted prefix; the continuation
+        # (fast-forwarded generator + restored predictor state) must be
+        # byte-identical to an uninterrupted compile.
+        longer = _config(n=12_000)
+        assert execute_run_fast(longer).to_dict() == execute_run(longer).to_dict()
+
+    def test_corrupted_entry_is_evicted_and_recompiled(self, disk_cache):
+        config = _config()
+        expected = execute_run_fast(config).to_dict()
+        [entry] = disk_cache.glob("trace-*.npz")
+        entry.write_bytes(b"this is not a zip archive")
+        clear_trace_cache(disk=False)
+        assert execute_run_fast(config).to_dict() == expected
+        assert not entry.read_bytes().startswith(b"this is not"), (
+            "the corrupted entry should have been evicted and rewritten"
+        )
+
+    def test_truncated_entry_is_evicted(self, disk_cache):
+        config = _config()
+        expected = execute_run_fast(config).to_dict()
+        [entry] = disk_cache.glob("trace-*.npz")
+        entry.write_bytes(entry.read_bytes()[:100])
+        clear_trace_cache(disk=False)
+        assert execute_run_fast(config).to_dict() == expected
+
+    def test_key_mismatch_is_never_served(self, disk_cache):
+        execute_run_fast(_config(benchmark="gcc"))
+        [gcc_entry] = disk_cache.glob("trace-*.npz")
+        clear_trace_cache(disk=False)
+        # Masquerade gcc's entry under mcf's filename (a copied cache
+        # dir / hash collision stand-in): the embedded key must reject it.
+        mcf_path = fastpath._disk_path(fastpath._trace_cache_key("mcf", 1))
+        mcf_path.write_bytes(gcc_entry.read_bytes())
+        mcf_config = _config(benchmark="mcf")
+        assert execute_run_fast(mcf_config).to_dict() == execute_run(mcf_config).to_dict()
+
+    def test_clear_trace_cache_clears_disk_too(self, disk_cache):
+        execute_run_fast(_config())
+        assert list(disk_cache.glob("trace-*.npz"))
+        clear_trace_cache()
+        assert not list(disk_cache.glob("trace-*.npz"))
+
+    def test_rerecorded_trace_file_gets_fresh_disk_entry(self, disk_cache, tmp_path):
+        path = tmp_path / "w.trace.gz"
+        record_benchmark(path, "gcc", 900)
+        name = f"trace:{path}"
+        first = execute_run_fast(_config(benchmark=name, n=700))
+        # Re-record with different content at the same path.
+        record_benchmark(path, "mcf", 900)
+        os.utime(path, (os.path.getmtime(path) + 5,) * 2)
+        clear_trace_cache(disk=False)
+        rerecorded = execute_run_fast(_config(benchmark=name, n=700))
+        assert rerecorded.to_dict() != first.to_dict()
+        assert rerecorded.to_dict() == execute_run(_config(benchmark=name, n=700)).to_dict()
+
+    def test_disabled_disk_cache_writes_nothing(self, disk_cache):
+        set_trace_cache_dir(None)
+        assert trace_cache_dir() is None
+        execute_run_fast(_config())
+        assert not list(disk_cache.glob("trace-*.npz"))
+
+
+# ----------------------------------------------------------------------
+# numpy-free fallback
+# ----------------------------------------------------------------------
+class TestWithoutNumpy:
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(fastpath, "_np", None)
+        clear_trace_cache(disk=False)
+        yield
+        clear_trace_cache(disk=False)
+
+    def test_disk_cache_disabled(self, no_numpy, tmp_path):
+        set_trace_cache_dir(tmp_path)
+        try:
+            assert trace_cache_dir() is None
+            execute_run_fast(_config(n=600))
+            assert not list(tmp_path.glob("trace-*.npz"))
+        finally:
+            fastpath._DISK_DIR_OVERRIDE = fastpath._UNSET
+
+    def test_fast_path_still_bit_identical(self, no_numpy):
+        config = _config(n=1_200)
+        assert execute_run_fast(config).to_dict() == execute_run(config).to_dict()
+
+    def test_pure_python_rebuild_matches(self, no_numpy):
+        ops = [
+            MicroOp(OP_BRANCH if i % 3 == 0 else OP_ALU, pc=4 * i,
+                    taken=bool(i % 2), dest=i % 8)
+            for i in range(700)
+        ]
+        compiled = CompiledTrace(iter(ops))
+        compiled.ensure(len(ops))
+        columns = {name: list(getattr(compiled, name)) for name in fastpath.COLUMN_NAMES}
+        rebuilt = CompiledTrace.from_columns(columns, exhausted=True)
+        assert rebuilt.br_pref == compiled.br_pref
+        assert rebuilt.terms == compiled.terms
+        assert [rebuilt.micro_op(i) for i in range(5)] == ops[:5]
