@@ -22,8 +22,17 @@ Three sections:
   shared machines otherwise dominates the single-run numbers).  When a
   previous ``BENCH_pr3.json`` is available its fast times are embedded
   per row (``pr3_fast_s`` / ``vs_pr3``).
+* ``l2_grid`` rows embed the previous artifact's fast times per row
+  (``compare_fast_s`` / ``vs_compare``) when ``--compare`` points at a
+  readable artifact measured at the same instruction count.
+* ``service`` (``--service``) — the job-queue service measured end to
+  end: a live in-process :class:`~repro.service.server.ServiceServer`
+  takes a duplicate-heavy grid of run jobs from ``--clients`` concurrent
+  clients over real HTTP, against the same configurations executed
+  directly on the engine.  Reports jobs/sec, p50/p95 job latency, the
+  coalesce rate, and the service overhead per unique unit.
 * ``summary`` — geometric-mean speedups, the identity verdict, and the
-  ``vs_pr3`` geomean.
+  ``vs_compare`` geomean.
 
 Regression gating: ``--baseline PATH --tolerance F`` compares this
 run's summary speedups against a committed baseline's and fails (exit
@@ -61,7 +70,7 @@ __all__ = [
 ]
 
 #: Schema tag of the emitted artifact.
-SCHEMA = "repro-bench/pr4"
+SCHEMA = "repro-bench/pr5"
 
 #: Benchmark subset for the per-run grid (the full sixteen are covered
 #: by the sweep entry; the grid shows per-L2-policy behaviour).  Same
@@ -131,10 +140,10 @@ def _time_sweep(instructions: int, repeats: int, echo) -> dict:
     return entry
 
 
-def _load_pr3_grid(
+def _load_compare_grid(
     path: Optional[Path], instructions: int
 ) -> Dict[Tuple[str, str], float]:
-    """Per-(benchmark, policy-label) fast times from a BENCH_pr3 artifact.
+    """Per-(benchmark, policy-label) fast times from a previous artifact.
 
     Rows are only comparable at matching instruction counts, so a
     compare artifact measured at a different size is ignored.
@@ -159,7 +168,7 @@ def _time_grid(
     instructions: int,
     grid_benchmarks: Sequence[str],
     repeats: int,
-    pr3_times: Dict[Tuple[str, str], float],
+    compare_times: Dict[Tuple[str, str], float],
     echo,
 ) -> List[dict]:
     rows = []
@@ -199,18 +208,126 @@ def _time_grid(
                 "identical": fast_results[label].to_dict()
                 == reference_results[label].to_dict(),
             }
-            pr3_fast = pr3_times.get((benchmark, label))
-            if pr3_fast is not None:
-                row["pr3_fast_s"] = pr3_fast
-                row["vs_pr3"] = round(pr3_fast / fast_s, 3)
+            compare_fast = compare_times.get((benchmark, label))
+            if compare_fast is not None:
+                row["compare_fast_s"] = compare_fast
+                row["vs_compare"] = round(compare_fast / fast_s, 3)
             rows.append(row)
             echo(
                 f"  {benchmark:8s} L2={label:16s} {reference_s:7.3f}s -> "
                 f"{fast_s:7.3f}s  {row['speedup']:5.2f}x"
-                + (f"  (pr3 fast {pr3_fast:.3f}s, {row['vs_pr3']:.2f}x)"
-                   if pr3_fast is not None else "")
+                + (f"  (prev fast {compare_fast:.3f}s, {row['vs_compare']:.2f}x)"
+                   if compare_fast is not None else "")
             )
     return rows
+
+
+#: Per-client job list for the service bench: benchmarks x thresholds.
+SERVICE_BENCHMARKS = ("gcc", "art")
+SERVICE_THRESHOLDS = (100, 150, 200, 250)
+
+
+def _service_configs(instructions: int) -> List[SimulationConfig]:
+    return [
+        SimulationConfig(
+            benchmark=benchmark,
+            dcache=PolicySpec("gated", {"threshold": threshold}),
+            icache="gated",
+            n_instructions=instructions,
+        )
+        for benchmark in SERVICE_BENCHMARKS
+        for threshold in SERVICE_THRESHOLDS
+    ]
+
+
+def _time_service(instructions: int, clients: int, echo) -> dict:
+    """Measure the job service end to end against the in-process engine.
+
+    Every client submits the same duplicate-heavy grid of run jobs over
+    real HTTP (so with ``clients`` concurrent clients, all but the first
+    arrival of each configuration coalesces or hits the result LRU) and
+    blocks on each job.  The baseline runs the unique configurations
+    directly on a fresh engine.
+    """
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServiceServer
+    from repro.service.telemetry import percentile
+
+    unique = _service_configs(instructions)
+
+    clear_trace_cache(disk=False)
+    engine = SimEngine(fast=True)
+    start = time.perf_counter()
+    baseline_results = engine.run_many(unique)
+    baseline_s = time.perf_counter() - start
+    engine.close()
+
+    server = ServiceServer(engine=SimEngine(fast=True)).start()
+    try:
+        latencies: List[float] = []
+        errors: List[str] = []
+        lock = threading.Lock()
+
+        def storm() -> None:
+            client = ServiceClient(server.url)
+            try:
+                for config in unique:
+                    begin = time.perf_counter()
+                    receipt = client.submit_run(config)
+                    client.wait(receipt["id"], poll_s=0.01)
+                    elapsed = time.perf_counter() - begin
+                    with lock:
+                        latencies.append(elapsed)
+            except Exception as error:  # noqa: BLE001 - report, don't hang
+                with lock:
+                    errors.append(f"{type(error).__name__}: {error}")
+
+        threads = [threading.Thread(target=storm) for _ in range(clients)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - start
+        if errors:
+            raise RuntimeError(f"service bench clients failed: {errors[:3]}")
+
+        checker = ServiceClient(server.url)
+        receipt = checker.submit_batch(unique)
+        job = checker.wait(receipt["id"])
+        remote = checker.collect(receipt, job)
+        identical = all(
+            payload == result.to_dict()
+            for payload, result in zip(remote, baseline_results)
+        )
+        metrics = checker.metrics()
+    finally:
+        server.stop()
+
+    total_jobs = clients * len(unique)
+    entry = {
+        "clients": clients,
+        "jobs": total_jobs,
+        "unique_units": len(unique),
+        "wall_s": round(wall_s, 4),
+        "jobs_per_s": round(total_jobs / wall_s, 3),
+        "job_latency_p50_s": round(percentile(latencies, 0.50), 5),
+        "job_latency_p95_s": round(percentile(latencies, 0.95), 5),
+        "baseline_s": round(baseline_s, 4),
+        "baseline_unit_s": round(baseline_s / len(unique), 5),
+        "coalesce_rate": metrics.get("coalesce_rate"),
+        "identical": identical,
+    }
+    echo(
+        f"  {clients} clients x {len(unique)} jobs: {entry['jobs_per_s']:.1f} jobs/s, "
+        f"p50 {entry['job_latency_p50_s'] * 1000:.1f}ms, "
+        f"p95 {entry['job_latency_p95_s'] * 1000:.1f}ms "
+        f"(in-process unit {entry['baseline_unit_s'] * 1000:.1f}ms, "
+        f"coalesce rate {entry['coalesce_rate']})  identical={identical}"
+    )
+    return entry
 
 
 def _check_baseline(summary: dict, baseline_path: Path, tolerance: float, echo) -> List[str]:
@@ -239,18 +356,21 @@ def _check_baseline(summary: dict, baseline_path: Path, tolerance: float, echo) 
 
 def run_bench(
     instructions: int = 30_000,
-    output: str = "BENCH_pr4.json",
+    output: str = "BENCH_pr5.json",
     grid_benchmarks: Sequence[str] = GRID_BENCHMARKS,
     repeats: int = 2,
-    compare: Optional[str] = "BENCH_pr3.json",
+    compare: Optional[str] = "BENCH_pr4.json",
     baseline: Optional[str] = None,
     tolerance: float = 0.5,
+    service_clients: Optional[int] = None,
     echo=print,
 ) -> Tuple[dict, int]:
     """Run the harness; returns ``(payload, exit_status)``.
 
-    Exit status: ``0`` on success, ``1`` when the fast path diverged
-    from the reference loop, ``3`` on a baseline regression.
+    Exit status: ``0`` on success, ``1`` when the fast path (or the
+    service) diverged from the reference loop, ``3`` on a baseline
+    regression.  ``service_clients`` enables the service section with
+    that many concurrent clients.
     """
     echo(f"timing sweep_benchmarks with gated L2 ({len(benchmark_names())} "
          f"benchmarks, {instructions} ops each, fast best of {max(1, repeats)})...")
@@ -258,11 +378,16 @@ def run_bench(
 
     echo("timing benchmark x L2-policy grid "
          f"(best of {max(1, repeats)} fast passes, disk cache warm)...")
-    pr3_times = _load_pr3_grid(Path(compare) if compare else None, instructions)
-    rows = _time_grid(instructions, grid_benchmarks, repeats, pr3_times, echo)
+    compare_times = _load_compare_grid(Path(compare) if compare else None, instructions)
+    rows = _time_grid(instructions, grid_benchmarks, repeats, compare_times, echo)
+
+    service = None
+    if service_clients:
+        echo(f"timing the job service at {service_clients} concurrent clients...")
+        service = _time_service(instructions, service_clients, echo)
 
     speedups = [row["speedup"] for row in rows]
-    vs_pr3 = [row["vs_pr3"] for row in rows if "vs_pr3" in row]
+    vs_compare = [row["vs_compare"] for row in rows if "vs_compare" in row]
     summary = {
         "grid_geomean_speedup": round(geometric_mean(speedups), 3),
         "grid_min_speedup": min(speedups),
@@ -271,8 +396,12 @@ def run_bench(
         "sweep_speedup_cold": sweep["speedup_cold"],
         "all_identical": sweep["identical"] and all(r["identical"] for r in rows),
     }
-    if vs_pr3:
-        summary["vs_pr3_grid_geomean"] = round(geometric_mean(vs_pr3), 3)
+    if vs_compare:
+        summary["vs_compare_grid_geomean"] = round(geometric_mean(vs_compare), 3)
+    if service is not None:
+        summary["all_identical"] = summary["all_identical"] and service["identical"]
+        summary["service_jobs_per_s"] = service["jobs_per_s"]
+        summary["service_p95_s"] = service["job_latency_p95_s"]
     payload = {
         "schema": SCHEMA,
         "instructions": instructions,
@@ -286,6 +415,8 @@ def run_bench(
         "l2_grid": rows,
         "summary": summary,
     }
+    if service is not None:
+        payload["service"] = service
     Path(output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     echo(f"wrote {output}")
 
@@ -298,7 +429,7 @@ def run_bench(
                 echo(f"ERROR: {failure}")
             status = 3
     if not summary["all_identical"]:
-        echo("ERROR: fast path diverged from the reference path")
+        echo("ERROR: fast path (or service) diverged from the reference path")
         status = 1
     return payload, status
 
@@ -311,8 +442,17 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
              "default; 6000 under --smoke)",
     )
     parser.add_argument(
-        "--output", default="BENCH_pr4.json", metavar="PATH",
-        help="destination JSON (default: BENCH_pr4.json)",
+        "--output", default="BENCH_pr5.json", metavar="PATH",
+        help="destination JSON (default: BENCH_pr5.json)",
+    )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="also measure the job-queue service (jobs/sec, p50/p95 "
+             "latency at --clients concurrent clients) end to end",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent clients for --service (default: 4)",
     )
     parser.add_argument(
         "--grid-benchmarks", default=None, metavar="A,B,...",
@@ -324,9 +464,9 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
              "1 under --smoke)",
     )
     parser.add_argument(
-        "--compare", default="BENCH_pr3.json", metavar="PATH",
-        help="previous bench artifact for per-row vs_pr3 ratios "
-             "(default: BENCH_pr3.json; missing file is fine)",
+        "--compare", default="BENCH_pr4.json", metavar="PATH",
+        help="previous bench artifact for per-row vs_compare ratios "
+             "(default: BENCH_pr4.json; missing file is fine)",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -355,6 +495,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute the harness from parsed arguments (CLI integration point)."""
+    if args.service and args.clients < 1:
+        raise ValueError("--clients must be at least 1")
     # --smoke only fills in values the user did not give explicitly.
     if args.smoke:
         if args.instructions is None:
@@ -380,6 +522,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         compare=args.compare,
         baseline=args.baseline,
         tolerance=args.tolerance,
+        service_clients=args.clients if args.service else None,
     )
     return status
 

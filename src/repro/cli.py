@@ -15,6 +15,10 @@ Reproduce the paper from a shell::
     python -m repro trace record --benchmark gcc --out gcc.trace.gz
     python -m repro run --benchmark trace:gcc.trace.gz
     python -m repro regen-goldens
+    python -m repro serve --port 8023 --workers 4 --fast --store runs/ --journal jobs.wal
+    python -m repro submit --server http://127.0.0.1:8023 --benchmarks gcc,art --dcache gated
+    python -m repro jobs --server http://127.0.0.1:8023
+    python -m repro run --benchmark gcc --dcache gated --server http://127.0.0.1:8023
 
 Every subcommand accepts ``--json`` for machine-readable output; run and
 sweep results are full :meth:`~repro.sim.metrics.RunResult.to_dict`
@@ -116,6 +120,16 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON on stdout"
+    )
+    parser.add_argument(
+        "--server",
+        metavar="URL",
+        default=None,
+        help=(
+            "execute against a running `repro serve` instance instead of "
+            "in-process (results are byte-identical); --workers/--store/"
+            "--fast are then the server's settings"
+        ),
     )
 
 
@@ -251,6 +265,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON on stdout"
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the simulation job-queue service (HTTP, stdlib only)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="TCP port; 0 picks an ephemeral one (default: 8023)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="engine worker processes per execution (default: 1)")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="on-disk result store; strongly recommended — it "
+                            "backs /v1/results and journal resume")
+    serve.add_argument("--fast", action="store_true",
+                       help="execute on the fast-path kernel (bit-identical)")
+    serve.add_argument("--journal", metavar="PATH", default=None,
+                       help="write-ahead job journal; a restarted server "
+                            "resumes unfinished jobs from it")
+    serve.add_argument("--queue-limit", type=int, default=256,
+                       help="max live jobs before 429 (default: 256)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds to let the in-flight execution finish "
+                            "on SIGTERM before cancelling it (default: 10)")
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a run or sweep to a repro service and (by default) wait",
+    )
+    submit.add_argument("--benchmark", default=None,
+                        help="single benchmark (submits a run job)")
+    submit.add_argument("--benchmarks", default=None, metavar="A,B,...",
+                        help="comma-separated benchmarks (submits a sweep "
+                             "job; default when --benchmark is absent: all)")
+    _add_config_arguments(submit)
+    submit.add_argument("--server", metavar="URL", required=True,
+                        help="service base URL, e.g. http://127.0.0.1:8023")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="job priority; larger runs sooner (default: 0)")
+    submit.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="server-side wall-clock budget for the job")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return without waiting")
+    submit.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON on stdout")
+
+    jobs = subparsers.add_parser("jobs", help="list a repro service's jobs")
+    jobs.add_argument("--server", metavar="URL", required=True,
+                      help="service base URL")
+    jobs.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON on stdout")
+
+    result = subparsers.add_parser(
+        "result", help="fetch one result from a repro service by job id or key"
+    )
+    result.add_argument("id", help="a job id (job-...) or canonical result key")
+    result.add_argument("--server", metavar="URL", required=True,
+                        help="service base URL")
+    result.add_argument("--json", action="store_true",
+                        help="emit full RunResult JSON instead of summaries")
+
     regen = subparsers.add_parser(
         "regen-goldens",
         help="recompute the golden experiment snapshots under tests/",
@@ -271,9 +344,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _remote_engine(args: argparse.Namespace):
+    """A SimEngine-shaped facade over ``--server URL``."""
+    from repro.service.client import RemoteEngine, ServiceClient
+
+    return RemoteEngine(ServiceClient(args.server))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     _validate_user_input([args.benchmark], args.feature_size)
-    engine = _make_engine(args)
+    engine = _remote_engine(args) if args.server else _make_engine(args)
     result = engine.run(_make_config(args))
     if args.json:
         print(json.dumps(result.to_dict()))
@@ -285,7 +365,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     benchmarks = _parse_benchmarks(args.benchmarks)
     _validate_user_input(benchmarks, args.feature_size)
-    engine = _make_engine(args)
+    engine = _remote_engine(args) if args.server else _make_engine(args)
     results = engine.sweep(
         _make_config(args, benchmark="gcc"),
         benchmarks=benchmarks,
@@ -322,7 +402,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     experiment = get_experiment(args.name)
     benchmarks = _parse_benchmarks(args.benchmarks)
     _validate_user_input(benchmarks, args.feature_size)
-    engine = _make_engine(args)
+    engine = _remote_engine(args) if args.server else _make_engine(args)
     options = ExperimentOptions(
         benchmarks=tuple(benchmarks) if benchmarks else None,
         n_instructions=args.instructions,
@@ -333,10 +413,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         # Surface unknown policy names / parameters as clean exit-2
         # errors before any simulation starts.
         options.resolved_l2()
-    if (args.workers != 1 or args.store) and not experiment.uses_engine:
+    if (args.workers != 1 or args.store or args.server) and not experiment.uses_engine:
         print(
             f"repro: note: experiment {experiment.name!r} does not run through "
-            "the engine; --workers/--store have no effect",
+            "the engine; --workers/--store/--server have no effect",
             file=sys.stderr,
         )
     supplied = {
@@ -433,6 +513,138 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.service.journal import JournalLocked
+    from repro.service.server import ServiceServer
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    engine = SimEngine(workers=args.workers, store=args.store, fast=args.fast)
+    try:
+        server = ServiceServer(
+            engine=engine,
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            journal=args.journal,
+        )
+    except JournalLocked as error:
+        raise ValueError(str(error)) from None
+    except OSError as error:
+        # An unbindable address is user input, not a bug.
+        raise ValueError(f"cannot bind {args.host}:{args.port}: {error}") from None
+    server.serve_forever(drain_timeout=args.drain_timeout)
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.server)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.sim.metrics import RunResult
+
+    if args.benchmark is not None and args.benchmarks is not None:
+        raise ValueError("pass --benchmark (run job) or --benchmarks (sweep job), not both")
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    _validate_user_input(
+        [args.benchmark] if args.benchmark else benchmarks, args.feature_size
+    )
+    client = _client(args)
+    if args.benchmark is not None:
+        config = _make_config(args)
+        receipt = client.submit_run(
+            config, priority=args.priority, timeout_s=args.timeout
+        )
+        names = [args.benchmark]
+    else:
+        config = _make_config(args, benchmark="gcc")
+        receipt = client.submit_sweep(
+            config,
+            benchmarks=benchmarks,
+            priority=args.priority,
+            timeout_s=args.timeout,
+        )
+        names = benchmarks or _all_benchmarks()
+    if args.no_wait:
+        if args.json:
+            print(json.dumps(receipt))
+        else:
+            print(
+                f"submitted {receipt['id']} ({receipt['status']}; "
+                f"{len(receipt['units'])} unit(s), {receipt['coalesced']} "
+                f"coalesced, {receipt['cached']} cached)"
+            )
+        return 0
+    job = client.wait(receipt["id"])
+    payloads = client.collect(receipt, job)
+    if args.json:
+        if args.benchmark is not None:
+            print(json.dumps(payloads[0]))
+        else:
+            print(json.dumps(dict(zip(names, payloads))))
+    else:
+        for payload in payloads:
+            print(RunResult.from_dict(payload).summary())
+    return 0
+
+
+def _all_benchmarks() -> List[str]:
+    from repro.workloads.characteristics import benchmark_names
+
+    return benchmark_names()
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    jobs = _client(args).jobs()
+    if args.json:
+        print(json.dumps(jobs))
+    else:
+        if not jobs:
+            print("no jobs")
+        for job in jobs:
+            line = (
+                f"{job['id']:24s} {job['kind']:6s} {job['status']:10s} "
+                f"prio={job['priority']:+d} units={job['units']}"
+            )
+            if job.get("error"):
+                line += f"  error: {job['error']}"
+            print(line)
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    from repro.sim.metrics import RunResult
+
+    client = _client(args)
+    if args.id.startswith("job-"):
+        job = client.wait(args.id, raise_on_failure=False)
+        if job["status"] != "done":
+            raise ValueError(
+                f"job {args.id} is {job['status']}"
+                + (f": {job['error']}" if job.get("error") else "")
+            )
+        payloads = [
+            client.result(key) if key not in job.get("results", {})
+            else job["results"][key]
+            for key in job["unit_keys"]
+        ]
+    else:
+        payloads = [client.result(args.id)]
+    if args.json:
+        print(json.dumps(payloads if len(payloads) > 1 else payloads[0]))
+    else:
+        for payload in payloads:
+            print(RunResult.from_dict(payload).summary())
+    return 0
+
+
 def _cmd_regen_goldens(args: argparse.Namespace) -> int:
     from repro.experiments.goldens import write_goldens
 
@@ -449,12 +661,18 @@ _COMMANDS = {
     "policies": _cmd_policies,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "result": _cmd_result,
     "regen-goldens": _cmd_regen_goldens,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` (returns an exit status)."""
+    from repro.service.client import JobFailed, ServiceError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -466,6 +684,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except BrokenPipeError:
             pass
         return 0
+    except (ServiceError, JobFailed) as error:
+        # A service-side rejection (bad spec, queue full, unreachable
+        # server, failed job) is operational, not a bug: exit 2 with the
+        # server's message, mirroring local validation errors.
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
     except ValueError as error:
         # Registry/config lookups raise ValueError for bad user input;
         # anything else (including KeyError) is a bug and should traceback.

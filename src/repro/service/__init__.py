@@ -1,0 +1,48 @@
+"""Simulation-as-a-service: job-queue server, client and scheduler.
+
+The service layer turns the batch :class:`~repro.sim.engine.SimEngine`
+into an always-on system: an HTTP server (``repro serve``) accepts
+simulation jobs, a priority queue coalesces identical requests onto
+one execution, a scheduler shards the work over the engine's
+persistent fork pool, and a write-ahead journal makes the queue
+survive restarts.  ``repro submit`` / ``repro jobs`` / ``repro
+result`` — and ``--server URL`` on ``run``/``sweep``/``experiment`` —
+are the client side.
+
+See ``docs/service.md`` for the API reference and deployment notes.
+"""
+
+from .client import (
+    JobFailed,
+    RemoteEngine,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+from .jobs import InvalidJob, Job, JobError, MalformedJob, parse_job_payload
+from .journal import JobJournal, JournalLocked
+from .queue import JobBoard, QueueFull, SubmitReceipt
+from .scheduler import Scheduler
+from .server import ServiceServer
+from .telemetry import Telemetry
+
+__all__ = [
+    "InvalidJob",
+    "Job",
+    "JobBoard",
+    "JobError",
+    "JobFailed",
+    "JobJournal",
+    "JournalLocked",
+    "MalformedJob",
+    "QueueFull",
+    "RemoteEngine",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "SubmitReceipt",
+    "Telemetry",
+    "parse_job_payload",
+]

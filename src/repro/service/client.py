@@ -1,0 +1,369 @@
+"""Client library for the simulation service.
+
+:class:`ServiceClient` is a thin stdlib (:mod:`urllib`) HTTP client
+with the retry discipline the server's admission control expects:
+
+* **429** responses honour the server's ``Retry-After`` header (capped)
+  before retrying;
+* transient transport failures and 5xx responses retry with
+  exponential backoff and a retry budget;
+* 4xx responses never retry — they surface as :class:`ServiceError`
+  with the server's message (so an unknown policy reads exactly like a
+  local validation error).
+
+:class:`RemoteEngine` adapts the client to the
+:class:`~repro.sim.engine.SimEngine` surface (``run`` / ``run_many`` /
+``sweep`` / ``select_thresholds`` / ``cached_results``), which is what
+lets ``repro run/sweep/experiment --server URL`` execute against a
+remote server with byte-identical results — every result travels as
+its exact :meth:`~repro.sim.metrics.RunResult.to_dict` JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import RunResult
+from repro.workloads.characteristics import benchmark_names
+
+__all__ = [
+    "JobFailed",
+    "RemoteEngine",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+]
+
+#: Never sleep longer than this on one Retry-After / backoff step.
+MAX_BACKOFF_S = 30.0
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error from the service (carries the status code)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceUnavailable(ServiceError):
+    """The server could not be reached within the retry budget."""
+
+    def __init__(self, message: str) -> None:
+        super(ServiceError, self).__init__(message)
+        self.status = 0
+        self.message = message
+
+
+class JobFailed(RuntimeError):
+    """A submitted job finished ``failed`` or ``cancelled``."""
+
+    def __init__(self, job: Dict[str, Any]) -> None:
+        detail = job.get("error") or job.get("status")
+        super().__init__(f"job {job.get('id')} {job.get('status')}: {detail}")
+        self.job = job
+
+
+class ServiceClient:
+    """Talk to a ``repro serve`` instance.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8023``.
+        timeout: Per-request socket timeout, seconds.
+        retries: Transport/5xx/429 retry budget per request.
+        backoff: Initial exponential-backoff delay, seconds.
+        sleep: Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 5,
+        backoff: float = 0.2,
+        sleep=time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        delay = self.backoff
+        last_error = "no attempts made"
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as error:
+                detail = self._error_message(error)
+                if error.code == 429 and attempt < self.retries:
+                    self._sleep(self._retry_after(error, delay))
+                    delay = min(delay * 2, MAX_BACKOFF_S)
+                    continue
+                if error.code >= 500 and attempt < self.retries:
+                    last_error = f"HTTP {error.code}: {detail}"
+                    self._sleep(delay)
+                    delay = min(delay * 2, MAX_BACKOFF_S)
+                    continue
+                raise ServiceError(error.code, detail) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
+                last_error = str(getattr(error, "reason", error))
+                if attempt < self.retries:
+                    self._sleep(delay)
+                    delay = min(delay * 2, MAX_BACKOFF_S)
+                    continue
+        raise ServiceUnavailable(
+            f"cannot reach {self.base_url}: {last_error}"
+        )
+
+    @staticmethod
+    def _error_message(error: urllib.error.HTTPError) -> str:
+        try:
+            payload = json.loads(error.read().decode("utf-8"))
+            return str(payload.get("error", payload))
+        except (ValueError, UnicodeDecodeError, OSError):
+            return error.reason or f"status {error.code}"
+
+    @staticmethod
+    def _retry_after(error: urllib.error.HTTPError, fallback: float) -> float:
+        header = error.headers.get("Retry-After") if error.headers else None
+        try:
+            value = float(header) if header is not None else fallback
+        except ValueError:
+            value = fallback
+        return max(0.05, min(value, MAX_BACKOFF_S))
+
+    # ------------------------------------------------------------------
+    # Raw endpoints
+    # ------------------------------------------------------------------
+    def submit(self, payload: dict) -> Dict[str, Any]:
+        """POST a raw job payload; returns the admission receipt."""
+        return self._request("POST", "/v1/jobs", payload)
+
+    def submit_run(
+        self,
+        config: SimulationConfig,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return self.submit(
+            _with_options(
+                {"kind": "run", "config": config.to_dict()}, priority, timeout_s
+            )
+        )
+
+    def submit_sweep(
+        self,
+        config: SimulationConfig,
+        benchmarks: Optional[Sequence[str]] = None,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        names = list(benchmarks) if benchmarks is not None else benchmark_names()
+        return self.submit(
+            _with_options(
+                {"kind": "sweep", "config": config.to_dict(), "benchmarks": names},
+                priority,
+                timeout_s,
+            )
+        )
+
+    def submit_batch(
+        self,
+        configs: Sequence[SimulationConfig],
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        return self.submit(
+            _with_options(
+                {"kind": "batch", "configs": [c.to_dict() for c in configs]},
+                priority,
+                timeout_s,
+            )
+        )
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def result(self, key: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/results/{key}")["result"]
+
+    def policies(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/policies")["policies"]
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        poll_s: float = 0.15,
+        timeout: Optional[float] = None,
+        raise_on_failure: bool = True,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; return its document.
+
+        Raises:
+            JobFailed: when the job finished ``failed``/``cancelled``
+                (suppress with ``raise_on_failure=False``).
+            TimeoutError: when ``timeout`` elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed", "cancelled"):
+                if raise_on_failure and job["status"] != "done":
+                    raise JobFailed(job)
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']} after {timeout}s"
+                )
+            self._sleep(poll_s)
+
+    def collect(
+        self, receipt: Dict[str, Any], job: Dict[str, Any]
+    ) -> List[Dict[str, Any]]:
+        """Result dicts in the receipt's request order.
+
+        Falls back to ``GET /v1/results/<key>`` for entries the job
+        document no longer carries (evicted from the server's LRU).
+        """
+        results = dict(job.get("results", {}))
+        ordered = []
+        for key in receipt["units"]:
+            if key not in results:
+                results[key] = self.result(key)
+            ordered.append(results[key])
+        return ordered
+
+
+def _with_options(payload: dict, priority: int, timeout_s: Optional[float]) -> dict:
+    if priority:
+        payload["priority"] = priority
+    if timeout_s is not None:
+        payload["timeout_s"] = timeout_s
+    return payload
+
+
+class RemoteEngine:
+    """A :class:`~repro.sim.engine.SimEngine`-shaped facade over a server.
+
+    Experiments and the CLI drive this exactly like a local engine;
+    every ``run_many`` becomes one batch job (so the server coalesces
+    and shards it), and results come back as exact ``RunResult`` JSON.
+    The local ``cached_results`` list mirrors what a local engine's LRU
+    would have held, so ``repro experiment --json`` payloads keep their
+    ``runs`` section.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.15,
+    ) -> None:
+        self.client = client
+        self.priority = priority
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self.stats: Dict[str, int] = {"jobs": 0, "remote_units": 0}
+        self._results: "Dict[tuple, RunResult]" = {}
+
+    # -- SimEngine surface ---------------------------------------------
+    def run(self, config: SimulationConfig, **_: Any) -> RunResult:
+        return self.run_many([config])[0]
+
+    def run_many(
+        self,
+        configs: Sequence[SimulationConfig],
+        workers: Optional[int] = None,
+        use_cache: bool = True,
+        fast: Optional[bool] = None,
+        cancel=None,
+    ) -> List[RunResult]:
+        """Submit one batch job and block until it completes.
+
+        ``workers``/``fast`` are the *server's* choice (its engine was
+        configured at ``repro serve`` time); they are accepted and
+        ignored so experiment code written against ``SimEngine`` runs
+        unchanged.
+        """
+        configs = list(configs)
+        if not configs:
+            return []
+        receipt = self.client.submit_batch(
+            configs, priority=self.priority, timeout_s=self.timeout_s
+        )
+        job = self.client.wait(receipt["id"], poll_s=self.poll_s)
+        payloads = self.client.collect(receipt, job)
+        self.stats["jobs"] += 1
+        self.stats["remote_units"] += len(configs)
+        results = [RunResult.from_dict(payload) for payload in payloads]
+        for config, result in zip(configs, results):
+            self._results[config.cache_key()] = result
+        return results
+
+    def sweep(
+        self,
+        base_config: SimulationConfig,
+        benchmarks: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
+        fast: Optional[bool] = None,
+    ) -> Dict[str, RunResult]:
+        names = list(benchmarks) if benchmarks is not None else benchmark_names()
+        configs = [replace(base_config, benchmark=name) for name in names]
+        return dict(zip(names, self.run_many(configs, workers=workers, fast=fast)))
+
+    def select_thresholds(self, benchmark: str, base_config: SimulationConfig, **kwargs):
+        from repro.sim.sweep import select_benchmark_thresholds
+
+        return select_benchmark_thresholds(
+            benchmark, base_config, engine=self, **kwargs
+        )
+
+    def cached_results(self) -> List[RunResult]:
+        """Results fetched through this facade (insertion order)."""
+        return list(self._results.values())
+
+    def clear(self) -> None:
+        self._results.clear()
+
+    def close(self) -> None:
+        """Nothing to release locally (the pool lives on the server)."""
+
+    def __enter__(self) -> "RemoteEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,162 @@
+"""Write-ahead job journal: a restarted server resumes its queue.
+
+The journal is a JSON-lines file.  Admission appends a ``submit`` event
+carrying the job's full durable form before the client gets its 202;
+every terminal transition appends a matching ``done`` / ``failed`` /
+``cancelled`` event.  Each append is flushed and fsynced, so a server
+killed outright (``kill -9``, OOM) loses at most the event being
+written — and a torn final line is tolerated by replay.
+
+On startup :meth:`JobJournal.replay` returns the jobs that were
+admitted but never finished, in their original admission order; the
+server resubmits them.  Resubmission is idempotent by construction:
+units whose results already landed in the result store are served from
+it at admission, so only genuinely unfinished work re-executes, and
+job ids are preserved so clients polling across the restart keep
+working.  :meth:`compact` then rewrites the file to just the live
+jobs, bounding its growth across restarts.
+
+A POSIX advisory lock (``fcntl.flock``) is held on the journal for the
+server's lifetime: two servers pointed at one journal would interleave
+their write-ahead logs, so the second one fails fast with
+:class:`JournalLocked` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Union
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+from .jobs import Job
+
+__all__ = ["JobJournal", "JournalLocked"]
+
+#: Event names that mark a job finished.
+_TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
+
+
+class JournalLocked(RuntimeError):
+    """Another live server already holds this journal."""
+
+
+class JobJournal:
+    """Append-only JSON-lines write-ahead log of job lifecycles."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Append mode creates the file when absent and never truncates
+        # the history a replay will need.
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fcntl is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self._handle.close()
+                raise JournalLocked(
+                    f"journal {self.path} is locked by another server"
+                ) from None
+
+    # ------------------------------------------------------------------
+    def _append(self, event: dict) -> None:
+        line = json.dumps(event, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_submit(self, job: Job) -> None:
+        """WAL a job before its admission is acknowledged."""
+        self._append({"v": 1, "event": "submit", "job": job.to_dict()})
+
+    def record_finish(self, job: Job) -> None:
+        """WAL a terminal transition (done/failed/cancelled)."""
+        event = {"v": 1, "event": job.status, "id": job.id}
+        if job.error:
+            event["error"] = job.error
+        self._append(event)
+
+    # ------------------------------------------------------------------
+    def replay(self) -> List[Job]:
+        """The jobs admitted but never finished, in admission order.
+
+        Unparseable lines (a torn final write from a killed server) and
+        jobs whose serialised configurations no longer load are skipped
+        — a bad record must not keep the whole service from booting.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        submitted: dict = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(event, dict):
+                continue
+            name = event.get("event")
+            if name == "submit":
+                try:
+                    job = Job.from_dict(event["job"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                submitted[job.id] = job
+            elif name in _TERMINAL_EVENTS:
+                submitted.pop(event.get("id"), None)
+        return list(submitted.values())
+
+    def compact(self, live_jobs: List[Job]) -> None:
+        """Rewrite the journal to exactly the given unfinished jobs.
+
+        Runs at startup after :meth:`replay`, so the file carries one
+        ``submit`` line per live job instead of the full history.  The
+        rewrite is staged in a temp file and atomically renamed, then
+        the append handle (and its advisory lock) is reopened on the
+        new inode.
+        """
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for job in live_jobs:
+                    handle.write(
+                        json.dumps(
+                            {"v": 1, "event": "submit", "job": job.to_dict()},
+                            separators=(",", ":"),
+                        )
+                        + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        old = self._handle
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fcntl is not None:
+            # Re-lock the new inode before releasing the old one so
+            # there is no window in which a second server could start.
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        old.close()
+
+    def close(self) -> None:
+        """Release the advisory lock and close the file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()

@@ -1,0 +1,431 @@
+"""Simulation-as-a-service: the stdlib HTTP server.
+
+``repro serve`` turns the engine into an always-on job service with no
+dependencies beyond the standard library
+(:class:`http.server.ThreadingHTTPServer`).  The API:
+
+=======  =========================  ===========================================
+Method   Path                       Meaning
+=======  =========================  ===========================================
+POST     ``/v1/jobs``               Submit a run/sweep/batch job (202)
+GET      ``/v1/jobs``               List retained jobs
+GET      ``/v1/jobs/<id>``          Status + partial results (404 unknown)
+POST     ``/v1/jobs/<id>/cancel``   Cancel (idempotent)
+DELETE   ``/v1/jobs/<id>``          Alias for cancel
+GET      ``/v1/results/<key>``      One result by canonical cache key
+GET      ``/v1/policies``           The policy registry
+GET      ``/healthz``               Liveness (503 while draining)
+GET      ``/metrics``               Queue depth, cache/coalesce rate,
+                                    jobs/sec, p50/p95 job latency
+=======  =========================  ===========================================
+
+Error mapping: malformed JSON or structure → 400; unknown
+policy/benchmark/node → 422 with the registry's message; queue full →
+429 with a ``Retry-After`` header; oversized body → 413.  All
+responses are JSON.
+
+The HTTP handlers only parse and serialise; every decision lives in
+:meth:`ServiceServer.dispatch`, which tests (and the in-process bench
+mode) call directly.  Shutdown is a graceful drain: stop accepting,
+let the in-flight execution finish (bounded), journal everything, shut
+the engine pool down.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.core.registry import get_policy_info, policy_names
+from repro.sim.engine import SimEngine
+
+from .jobs import Job, JobError, parse_job_payload
+from .journal import JobJournal
+from .queue import JobBoard, QueueFull
+from .scheduler import Scheduler
+from .telemetry import Telemetry
+
+__all__ = ["ServiceServer", "policies_payload"]
+
+log = logging.getLogger("repro.service")
+
+#: Largest accepted request body; a sweep spec is a few KB, so this is
+#: generous while still bounding a hostile upload.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_JOB_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)$")
+_CANCEL_PATH = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)/cancel$")
+# Result keys are lowercase-hex store digests; anything else is a 404
+# at the routing layer (not a ValueError deep in the store).
+_RESULT_PATH = re.compile(r"^/v1/results/([0-9a-f]+)$")
+
+
+def policies_payload() -> Dict[str, Any]:
+    """The policy registry as JSON (shared with ``repro policies``)."""
+    payload: Dict[str, Any] = {}
+    for name in policy_names():
+        info = get_policy_info(name)
+        payload[name] = {
+            "defaults": {key: value for key, value in info.defaults.items()},
+            "aliases": list(info.aliases),
+            "scheduler_extra_latency": info.scheduler_extra_latency,
+            "description": info.description,
+        }
+    return payload
+
+
+class ServiceServer:
+    """The job-queue service wired together: board, scheduler, HTTP.
+
+    Args:
+        engine: The engine executing every unit (its worker pool, LRU,
+            result store and fast/reference setting are the service's).
+        host / port: Bind address; port ``0`` picks an ephemeral port
+            (tests and the bench harness use this).
+        queue_limit: Live jobs admitted before 429.
+        journal: Write-ahead journal path (or instance); ``None``
+            disables persistence across restarts.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[SimEngine] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int = 256,
+        journal: Union[JobJournal, str, Path, None] = None,
+        retention_jobs: int = 1024,
+        retention_results: int = 4096,
+    ) -> None:
+        self.engine = engine if engine is not None else SimEngine(fast=True)
+        self.telemetry = Telemetry()
+        self.board = JobBoard(
+            store=self.engine.store,
+            queue_limit=queue_limit,
+            retention_jobs=retention_jobs,
+            retention_results=retention_results,
+        )
+        self.journal = (
+            JobJournal(journal)
+            if isinstance(journal, (str, Path))
+            else journal
+        )
+        self.board.on_job_finished = self._job_finished
+        self.scheduler = Scheduler(self.board, self.engine, self.telemetry)
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        self._httpd.daemon_threads = True
+        self._serve_thread: Optional[threading.Thread] = None
+        self._replayed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def replayed_jobs(self) -> int:
+        """Jobs resumed from the journal at the last :meth:`start`."""
+        return self._replayed
+
+    # ------------------------------------------------------------------
+    def _job_finished(self, job: Job) -> None:
+        latency = None
+        submitted = getattr(job, "submitted_at", None)
+        finished = getattr(job, "finished_at", None)
+        if submitted is not None and finished is not None:
+            latency = max(0.0, finished - submitted)
+        self.telemetry.observe_job_finished(job.status, latency)
+        if self.journal is not None:
+            try:
+                self.journal.record_finish(job)
+            except (OSError, ValueError):  # pragma: no cover - disk full etc.
+                log.exception("journal write failed for job %s", job.id)
+
+    def _resume_from_journal(self) -> None:
+        if self.journal is None:
+            return
+        jobs = self.journal.replay()
+        self.journal.compact(jobs)
+        self._replayed = 0
+        for job in jobs:
+            try:
+                self.board.submit(job)
+                self._replayed += 1
+            except (QueueFull, ValueError):
+                log.exception("could not resume journaled job %s", job.id)
+        if self._replayed:
+            log.info("resumed %d unfinished job(s) from the journal", self._replayed)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceServer":
+        """Replay the journal, start the scheduler and the HTTP thread."""
+        self._resume_from_journal()
+        self.scheduler.start()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self, drain_timeout: float = 10.0) -> None:
+        """Graceful drain (idempotent): stop accepting, finish, shut down."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._draining.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self.scheduler.stop(timeout=drain_timeout)
+        if self.journal is not None:
+            self.journal.close()
+        # terminate(), not close(): a drain timeout may have abandoned a
+        # long chunk on a worker, and exit must not leave it orphaned.
+        self.engine.terminate()
+        log.info("service stopped")
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def serve_forever(self, drain_timeout: float = 10.0) -> None:
+        """Blocking entry point for ``repro serve``.
+
+        Installs SIGTERM/SIGINT handlers that trigger the graceful
+        drain, then blocks until one arrives.
+        """
+        done = threading.Event()
+
+        def _drain(signum, frame):  # noqa: ANN001 - signal signature
+            log.info("signal %s: draining", signum)
+            done.set()
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _drain)
+        self.start()
+        log.info("repro service listening on %s", self.url)
+        try:
+            done.wait()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.stop(drain_timeout=drain_timeout)
+
+    # ------------------------------------------------------------------
+    # Routing (transport-free; tests call this directly)
+    # ------------------------------------------------------------------
+    def dispatch(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Handle one request; returns ``(status, payload, headers)``."""
+        self.telemetry.bump("http_requests")
+        try:
+            status, payload, headers = self._route(method, path, body)
+        except Exception as error:  # noqa: BLE001 - must answer, not die
+            log.exception("unhandled error for %s %s", method, path)
+            status = 500
+            payload = {"error": f"internal error: {type(error).__name__}"}
+            headers = {}
+        if status >= 400:
+            self.telemetry.bump("http_errors")
+        return status, payload, headers
+
+    def _route(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if self._draining.is_set():
+                return 503, {"status": "draining"}, {}
+            return 200, {
+                "status": "ok",
+                "uptime_s": self.telemetry.snapshot()["uptime_s"],
+                "queue_depth": self.board.depth(),
+            }, {}
+        if path == "/metrics":
+            return 200, self._metrics(), {}
+        if path == "/v1/policies":
+            return 200, {"policies": policies_payload()}, {}
+        if path == "/v1/jobs":
+            if method == "POST":
+                return self._submit(body)
+            if method == "GET":
+                jobs = [job.summary() for job in self.board.jobs()]
+                return 200, {"jobs": jobs, "queue_depth": self.board.depth()}, {}
+            return 405, {"error": "method not allowed"}, {"Allow": "GET, POST"}
+        match = _CANCEL_PATH.match(path)
+        if match and method == "POST":
+            return self._cancel(match.group(1))
+        match = _JOB_PATH.match(path)
+        if match:
+            if method == "GET":
+                payload = self.board.job_payload(match.group(1))
+                if payload is None:
+                    return 404, {"error": f"unknown job {match.group(1)!r}"}, {}
+                return 200, payload, {}
+            if method == "DELETE":
+                return self._cancel(match.group(1))
+            return 405, {"error": "method not allowed"}, {"Allow": "GET, DELETE"}
+        match = _RESULT_PATH.match(path)
+        if match and method == "GET":
+            key = match.group(1)
+            result = self.board.result_payload(key)
+            if result is None:
+                return 404, {"error": f"no result for key {key!r}"}, {}
+            return 200, {"key": key, "result": result}, {}
+        return 404, {"error": f"no such endpoint: {method} {path}"}, {}
+
+    def _submit(self, body: Optional[bytes]) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if self._draining.is_set():
+            return 503, {"error": "server is draining"}, {"Retry-After": "5"}
+        if not body:
+            return 400, {"error": "empty request body"}, {}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            return 400, {"error": f"request body is not valid JSON: {error}"}, {}
+        try:
+            job = parse_job_payload(payload)
+        except JobError as error:
+            return error.status, {"error": str(error)}, {}
+        if self.board.get(job.id) is not None:
+            # Checked before the WAL write so a duplicate id (possibly
+            # with a different payload) never shadows the original's
+            # journal entry; board.submit re-checks under its lock.
+            return 409, {"error": f"duplicate job id {job.id!r}"}, {}
+        self.telemetry.bump("jobs_submitted")
+        self.telemetry.bump("units_requested", len(job.configs))
+        # Write-ahead: the journal must know the job before the client
+        # is told it was admitted.
+        if self.journal is not None:
+            self.journal.record_submit(job)
+        try:
+            receipt = self.board.submit(job)
+        except QueueFull as error:
+            self.telemetry.bump("jobs_rejected")
+            self._void_journal_entry(job, "queue full")
+            return 429, {"error": str(error)}, {
+                "Retry-After": str(int(max(1, error.retry_after)))
+            }
+        except ValueError as error:
+            # Duplicate client-supplied id: the board never admitted it.
+            # No compensating WAL event — a terminal event for this id
+            # would pop the *original* job's submit on replay.  The
+            # duplicate submit line is harmless: replaying it while the
+            # original is unfinished is exactly the idempotent-retry
+            # semantics the journal promises, and after the original
+            # finishes its results are served from the store instantly.
+            self.telemetry.bump("jobs_rejected")
+            return 409, {"error": str(error)}, {}
+        self.telemetry.bump("units_cached", receipt.cached)
+        self.telemetry.bump("units_coalesced", receipt.coalesced)
+        return 202, receipt.to_dict(), {}
+
+    def _void_journal_entry(self, job: Job, reason: str) -> None:
+        """Append a terminal event for a write-ahead'd job that was rejected.
+
+        The WAL records the submit before admission; without a matching
+        terminal event a restart's replay would resurrect — and a
+        compaction preserve — a job the client saw rejected.
+        """
+        job.status = "cancelled"
+        job.error = reason
+        if self.journal is not None:
+            self.journal.record_finish(job)
+
+    def _cancel(self, job_id: str) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        job = self.board.cancel(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, {}
+        return 200, job.summary(), {}
+
+    def _metrics(self) -> Dict[str, Any]:
+        metrics = self.telemetry.snapshot()
+        engine_stats = dict(self.engine.stats)
+        lookups = sum(engine_stats.values())
+        metrics["queue_depth"] = self.board.depth()
+        metrics["pending_units"] = self.board.pending_units()
+        metrics["engine"] = engine_stats
+        metrics["engine_cache_hit_rate"] = (
+            round(
+                (engine_stats["memory_hits"] + engine_stats["store_hits"]) / lookups, 4
+            )
+            if lookups
+            else None
+        )
+        metrics["draining"] = self._draining.is_set()
+        return metrics
+
+
+def _make_handler(service: ServiceServer):
+    """A request-handler class bound to one :class:`ServiceServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-service/1"
+
+        def _respond(self) -> None:
+            body: Optional[bytes] = None
+            length = self.headers.get("Content-Length")
+            if length is not None:
+                try:
+                    size = int(length)
+                except ValueError:
+                    self._send(400, {"error": "bad Content-Length"}, {})
+                    return
+                if size > MAX_BODY_BYTES:
+                    # The body is not read; the connection must close or
+                    # the unread bytes would be parsed as the next request.
+                    self.close_connection = True
+                    self._send(
+                        413,
+                        {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"},
+                        {},
+                    )
+                    return
+                body = self.rfile.read(size) if size else b""
+            status, payload, headers = service.dispatch(
+                self.command, self.path, body
+            )
+            self._send(status, payload, headers)
+
+        def _send(self, status: int, payload: Dict[str, Any], headers: Dict[str, str]) -> None:
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            try:
+                self.wfile.write(data)
+            except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+                pass
+
+        do_GET = do_POST = do_DELETE = _respond
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            log.info("%s - %s", self.address_string(), format % args)
+
+    return Handler

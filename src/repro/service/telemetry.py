@@ -1,0 +1,105 @@
+"""Service telemetry: counters, rates and latency percentiles.
+
+One :class:`Telemetry` instance is shared by the HTTP layer (request
+counts), the board hooks (job lifecycle, coalescing/cache admission
+stats) and the scheduler (unit execution times).  Everything is behind
+one lock and cheap enough to update on every event; ``/metrics``
+serialises a snapshot.
+
+Latency percentiles are computed over a bounded window of the most
+recent job completions (submission → terminal state, i.e. what a
+client actually waits), so they track current behaviour instead of the
+whole process history; throughput is reported both since boot and over
+a sliding recent window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Optional
+
+__all__ = ["Telemetry", "percentile"]
+
+#: Sliding window for "recent" throughput, seconds.
+_RATE_WINDOW_S = 60.0
+
+
+def percentile(values, fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of ``values`` (``None`` when empty)."""
+    data = sorted(values)
+    if not data:
+        return None
+    rank = max(0, min(len(data) - 1, int(round(fraction * (len(data) - 1)))))
+    return data[rank]
+
+
+class Telemetry:
+    """Thread-safe service metrics."""
+
+    def __init__(self, latency_window: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self._started_mono = time.monotonic()
+        self.counters: Dict[str, int] = {
+            "http_requests": 0,
+            "http_errors": 0,
+            "jobs_submitted": 0,
+            "jobs_done": 0,
+            "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "jobs_rejected": 0,
+            "units_requested": 0,
+            "units_cached": 0,
+            "units_coalesced": 0,
+            "units_executed": 0,
+        }
+        self._job_latencies = deque(maxlen=latency_window)
+        self._finish_times = deque(maxlen=4096)
+
+    # ------------------------------------------------------------------
+    def bump(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def observe_job_finished(self, status: str, latency_s: Optional[float]) -> None:
+        """Record one job reaching a terminal state."""
+        with self._lock:
+            key = f"jobs_{status}"
+            self.counters[key] = self.counters.get(key, 0) + 1
+            self._finish_times.append(time.monotonic())
+            if latency_s is not None and status == "done":
+                self._job_latencies.append(latency_s)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``/metrics`` document (queue/engine fields added by caller)."""
+        with self._lock:
+            now = time.monotonic()
+            uptime = max(now - self._started_mono, 1e-9)
+            completed = (
+                self.counters["jobs_done"]
+                + self.counters["jobs_failed"]
+                + self.counters["jobs_cancelled"]
+            )
+            recent = [t for t in self._finish_times if now - t <= _RATE_WINDOW_S]
+            window = min(uptime, _RATE_WINDOW_S)
+            requested = self.counters["units_requested"]
+            served_without_pool = (
+                self.counters["units_cached"] + self.counters["units_coalesced"]
+            )
+            return {
+                "uptime_s": round(uptime, 3),
+                "counters": dict(self.counters),
+                "jobs_per_s": round(completed / uptime, 4),
+                "jobs_per_s_recent": round(len(recent) / window, 4),
+                "job_latency_s": {
+                    "p50": percentile(self._job_latencies, 0.50),
+                    "p95": percentile(self._job_latencies, 0.95),
+                    "samples": len(self._job_latencies),
+                },
+                "coalesce_rate": (
+                    round(served_without_pool / requested, 4) if requested else None
+                ),
+            }

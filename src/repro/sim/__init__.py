@@ -19,7 +19,7 @@ engine for quick interactive use.
 from repro.core.registry import PolicySpec
 
 from .config import DEFAULT_INSTRUCTIONS, POLICY_NAMES, SimulationConfig, make_policy
-from .engine import SimEngine, default_engine, execute_run, execute_run_fast
+from .engine import RunCancelled, SimEngine, default_engine, execute_run, execute_run_fast
 from .fastpath import CompiledTrace, clear_trace_cache, compile_workload
 from .metrics import RunResult, arithmetic_mean, geometric_mean, slowdown
 from .runner import clear_run_cache, run_simulation
@@ -37,6 +37,7 @@ __all__ = [
     "PolicySpec",
     "SimulationConfig",
     "make_policy",
+    "RunCancelled",
     "SimEngine",
     "default_engine",
     "execute_run",

@@ -31,6 +31,7 @@ import threading
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from pathlib import Path
@@ -48,7 +49,24 @@ from .fastpath import _trace_cache_key, execute_run_fast
 from .metrics import RunResult
 from .store import ResultStore
 
-__all__ = ["SimEngine", "default_engine", "execute_run", "execute_run_fast"]
+__all__ = [
+    "RunCancelled",
+    "SimEngine",
+    "default_engine",
+    "execute_run",
+    "execute_run_fast",
+]
+
+
+class RunCancelled(Exception):
+    """A :meth:`SimEngine.run_many` call was cancelled via its event.
+
+    Raised out of the engine when the caller-supplied ``cancel`` event is
+    set while work is still outstanding.  Completed configurations keep
+    their cache/store entries (cancellation is checked between
+    configurations serially and between chunks in parallel), so a
+    cancelled batch resumes cheaply when resubmitted.
+    """
 
 
 def execute_run(config: SimulationConfig) -> RunResult:
@@ -240,11 +258,48 @@ class SimEngine:
     def close(self) -> None:
         """Shut down the persistent worker pool (idempotent).
 
-        The engine stays usable — the next parallel call simply forks a
-        fresh pool (picking up e.g. newly registered policies).
+        Safe to call from several threads at once (the service layer's
+        drain path and a context-manager exit may race): the pool lock
+        serialises the shutdown and later callers see the already-closed
+        state.  The engine stays usable — the next parallel call simply
+        forks a fresh pool (picking up e.g. newly registered policies).
         """
         with self._pool_lock:
             self._close_pool_locked(wait=True)
+
+    def terminate(self) -> None:
+        """Hard-stop the worker pool: cancel queued chunks, kill workers.
+
+        Unlike :meth:`close`, which waits for in-flight chunks, this
+        SIGKILLs the fork workers so a long chunk cannot delay process
+        exit — the interrupt path (SIGINT/SIGTERM during a pooled
+        sweep) and the service's drain timeout use it to guarantee no
+        orphaned workers outlive the parent.  SIGKILL rather than
+        SIGTERM because forked workers inherit the parent's signal
+        handlers: a parent whose SIGTERM handler raises (the usual
+        graceful-shutdown idiom) would have that exception *swallowed*
+        inside the worker's task loop, leaving the worker alive.
+        Idempotent and safe under concurrent callers, like :meth:`close`.
+        """
+        with self._pool_lock:
+            pool = self._pool
+            if pool is None:
+                return
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            # Kill the workers *before* asking the executor to shut
+            # down: the manager thread then observes a broken pool and
+            # exits by itself.  The reverse order can leave the manager
+            # blocked waiting for results that will never arrive, which
+            # would hang interpreter exit (it joins manager threads).
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            for process in processes:
+                if process.is_alive():
+                    process.kill()
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_workers = 0
 
     def __enter__(self) -> "SimEngine":
         return self
@@ -312,6 +367,7 @@ class SimEngine:
         workers: Optional[int] = None,
         use_cache: bool = True,
         fast: Optional[bool] = None,
+        cancel: Optional[threading.Event] = None,
     ) -> List[RunResult]:
         """Simulate many configurations, in parallel when ``workers > 1``.
 
@@ -320,6 +376,14 @@ class SimEngine:
         seeded).  Configurations already in the cache or store are not
         re-simulated, and duplicates are simulated once.  ``fast``
         overrides the engine's default execution path for this call.
+
+        ``cancel`` is the service layer's cancellation hook: when the
+        event is set mid-batch the call raises :class:`RunCancelled` at
+        the next configuration boundary (serial) or chunk boundary
+        (parallel).  Results computed before the cancellation are
+        already in the cache/store — fresh results are written back as
+        they complete, not at the end of the batch — so a resubmitted
+        batch resumes instead of restarting.
         """
         workers = self.workers if workers is None else workers
         if workers < 1:
@@ -348,15 +412,9 @@ class SimEngine:
 
         todo = list(pending_configs.items())
         if todo:
-            if workers > 1 and len(todo) > 1:
-                computed = self._run_parallel(
-                    [config for _, config in todo],
-                    workers,
-                    fast=runner is execute_run_fast,
-                )
-            else:
-                computed = [runner(config) for _, config in todo]
-            for (key, config), result in zip(todo, computed):
+
+            def record(position: int, result: RunResult) -> None:
+                key, config = todo[position]
                 self._bump("computed")
                 if use_cache:
                     self._cache_put(key, result)
@@ -364,51 +422,123 @@ class SimEngine:
                         self.store.put(config, result)
                 for index in pending[key]:
                     results[index] = result
+
+            if workers > 1 and len(todo) > 1:
+                self._run_parallel(
+                    [config for _, config in todo],
+                    workers,
+                    fast=runner is execute_run_fast,
+                    record=record,
+                    cancel=cancel,
+                )
+            else:
+                for position, (_, config) in enumerate(todo):
+                    if cancel is not None and cancel.is_set():
+                        raise RunCancelled(
+                            f"cancelled with {len(todo) - position} of "
+                            f"{len(todo)} configurations outstanding"
+                        )
+                    record(position, runner(config))
         return results  # type: ignore[return-value]
 
     def _run_parallel(
-        self, configs: List[SimulationConfig], workers: int, fast: bool
-    ) -> List[RunResult]:
-        """Execute ``configs`` on the persistent pool; results in input order.
+        self,
+        configs: List[SimulationConfig],
+        workers: int,
+        fast: bool,
+        record,
+        cancel: Optional[threading.Event] = None,
+    ) -> None:
+        """Execute ``configs`` on the persistent pool, recording as it goes.
 
         The work is grouped into *trace-affine* chunks (configurations
         sharing a compiled trace land in the same chunk, so each chunk
         pays at most one trace load), the chunks are submitted
         longest-estimated-first, and idle workers pick up the next
         pending chunk — work stealing at chunk granularity.  Each chunk
-        carries its configs' original input indices, so reassembly is
-        order-correct even when the input interleaves benchmarks (a
-        policy-major grid).  A broken pool (e.g. a worker killed by the
-        OOM killer) degrades to serial in-process execution instead of
-        failing the sweep.
+        carries its configs' original input indices, so ``record`` is
+        called with every config's original position even when the input
+        interleaves benchmarks (a policy-major grid).  A broken pool
+        (e.g. a worker killed by the OOM killer) degrades to serial
+        in-process execution instead of failing the sweep.
+
+        Chunk results are recorded as their futures complete, so a
+        cancellation (or a failure in a later chunk) keeps everything
+        finished so far.  When ``cancel`` is set, pending chunks are
+        cancelled and :class:`RunCancelled` is raised; chunks already
+        running on workers finish in the background but their results
+        are simply discarded.
         """
         chunks = self._make_chunks(configs, workers)
         executor = self._executor(workers)
-        results: List[Optional[RunResult]] = [None] * len(configs)
         futures = [
             (indices, executor.submit(_execute_chunk, (fast, chunk)))
             for indices, chunk in chunks
         ]
+        recorded: set = set()
+
+        def record_chunk(indices, chunk_results) -> None:
+            for index, result in zip(indices, chunk_results):
+                if index not in recorded:
+                    recorded.add(index)
+                    record(index, result)
+
         try:
             for indices, future in futures:
-                for index, result in zip(indices, future.result()):
-                    results[index] = result
+                while True:
+                    if cancel is not None and cancel.is_set():
+                        raise RunCancelled("cancelled between chunks")
+                    try:
+                        chunk_results = future.result(
+                            timeout=0.05 if cancel is not None else None
+                        )
+                    except FuturesTimeout:
+                        continue
+                    break
+                record_chunk(indices, chunk_results)
         except BrokenProcessPool:
             self.close()
             runner = execute_run_fast if fast else execute_run
+            for indices, future in futures:
+                if future.done() and not future.cancelled():
+                    try:
+                        record_chunk(indices, future.result())
+                    except BaseException:
+                        pass
             for indices, chunk in chunks:
                 for index, config in zip(indices, chunk):
-                    if results[index] is None:
-                        results[index] = runner(config)
-        except BaseException:
+                    if index not in recorded:
+                        if cancel is not None and cancel.is_set():
+                            raise RunCancelled("cancelled during serial fallback")
+                        recorded.add(index)
+                        record(index, runner(config))
+        except BaseException as error:
             # A failing chunk (bad config, kill signal) must not leave
             # the other submitted chunks running unattended on the
             # persistent pool, where they would steal CPU from — and
             # queue ahead of — the caller's next run_many.
             for _, future in futures:
                 future.cancel()
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                # An interrupt means the process is on its way out; a
+                # graceful close would block on the long chunks the
+                # interrupt is trying to abandon, and an abandoned fork
+                # pool would orphan its workers.  Kill it.
+                self.terminate()
+            else:
+                # Futures complete out of submission order but are
+                # consumed in it, so chunks that finished on other
+                # workers may not have been recorded yet.  Write them
+                # back before propagating — the documented contract
+                # (results land in the cache/store as they complete)
+                # is what lets a cancelled batch resume cheaply.
+                for indices, future in futures:
+                    if future.done() and not future.cancelled():
+                        try:
+                            record_chunk(indices, future.result())
+                        except BaseException:
+                            pass
             raise
-        return results  # type: ignore[return-value]
 
     @staticmethod
     def _make_chunks(

@@ -10,6 +10,15 @@ nodes x subarray sizes) become restartable.
 
 The files are plain :meth:`~repro.sim.metrics.RunResult.to_dict` JSON, so
 they double as a machine-readable archive of every run.
+
+Concurrent-writer safety: the store is **per-key files with atomic
+publication** — each result is written to a unique temporary file in the
+store directory (``mkstemp``), flushed and fsynced, then ``os.replace``'d
+into place.  Readers therefore only ever see a missing file or a
+complete JSON document, never an interleaving of two writers, even when
+several engine or service processes hammer the same directory; when two
+processes race on one key the results are bit-identical by construction
+(runs are deterministic), so last-writer-wins is harmless.
 """
 
 from __future__ import annotations
@@ -62,26 +71,65 @@ class ResultStore:
     def _path(self, config: SimulationConfig) -> Path:
         return self.directory / f"{self.key_for(config)}.json"
 
+    def _key_path(self, key: str) -> Path:
+        # Keys are hex digests; reject anything that could traverse out
+        # of the store directory (the service exposes key lookups over
+        # HTTP, so this is an input-validation boundary, not paranoia).
+        if not key or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed result key: {key!r}")
+        return self.directory / f"{key}.json"
+
     # ------------------------------------------------------------------
     def get(self, config: SimulationConfig) -> Optional[RunResult]:
         """The stored result for ``config``, or ``None``."""
-        path = self._path(config)
-        try:
-            text = path.read_text()
-        except FileNotFoundError:
+        payload = self.get_payload(self.key_for(config))
+        if payload is None:
             return None
-        except OSError:
+        try:
+            return RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def get_payload(self, key: str) -> Optional[dict]:
+        """The raw stored ``{"config":..., "result":...}`` payload for a key.
+
+        Returns ``None`` for an absent key or an unreadable/truncated
+        file (a truncated write from a killed process must not poison
+        the caller; the entry is simply recomputed and overwritten).
+        """
+        try:
+            text = self._key_path(key).read_text()
+        except (FileNotFoundError, OSError):
             return None
         try:
             payload = json.loads(text)
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def get_by_key(self, key: str) -> Optional[RunResult]:
+        """The stored result under ``key`` (a :meth:`key_for` digest)."""
+        payload = self.get_payload(key)
+        if payload is None:
+            return None
+        try:
             return RunResult.from_dict(payload["result"])
         except (KeyError, TypeError, ValueError):
-            # A truncated write (e.g. a killed process) must not poison
-            # the sweep; recompute and overwrite.
             return None
 
+    def keys(self) -> list:
+        """Every stored key (sorted; unreadable entries included)."""
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
     def put(self, config: SimulationConfig, result: RunResult) -> None:
-        """Persist ``result`` for ``config`` (atomic within the store dir)."""
+        """Persist ``result`` for ``config``.
+
+        Atomic against concurrent readers *and* writers: the payload is
+        staged in a unique temp file, flushed and fsynced, then renamed
+        over the key's path in one step — two processes writing the same
+        key can interleave freely without a reader ever seeing partial
+        JSON.
+        """
         payload = {"config": config.to_dict(), "result": result.to_dict()}
         path = self._path(config)
         fd, tmp_name = tempfile.mkstemp(
@@ -90,6 +138,8 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

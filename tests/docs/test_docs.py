@@ -27,7 +27,7 @@ _LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _PAGES = [REPO_ROOT / "README.md"] + sorted(DOCS_DIR.glob("*.md"))
 
 #: Documentation pages containing executable examples.
-_DOCTEST_PAGES = [DOCS_DIR / "quickstart.md"]
+_DOCTEST_PAGES = [DOCS_DIR / "quickstart.md", DOCS_DIR / "service.md"]
 
 
 def _relative_links(page: Path):
@@ -46,6 +46,7 @@ def test_docs_directory_is_populated() -> None:
         "experiments.md",
         "quickstart.md",
         "performance.md",
+        "service.md",
     } <= names
 
 

@@ -1,0 +1,130 @@
+"""Client retry discipline: Retry-After on 429, backoff on 5xx/transport."""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service.client import (
+    RemoteEngine,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Serves a scripted sequence of (status, headers, payload) responses."""
+
+    script = []  # mutated per test
+    calls = []
+
+    def _serve(self):
+        type(self).calls.append(self.path)
+        if self.script:
+            status, headers, payload = self.script.pop(0)
+        else:
+            status, headers, payload = 200, {}, {"ok": True}
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = _serve
+
+    def log_message(self, *args):
+        pass
+
+
+@pytest.fixture()
+def scripted():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    _ScriptedHandler.script = []
+    _ScriptedHandler.calls = []
+    yield server, f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+
+
+class TestRetryDiscipline:
+    def test_429_honours_retry_after_header(self, scripted):
+        _, url = scripted
+        sleeps = []
+        _ScriptedHandler.script = [
+            (429, {"Retry-After": "3"}, {"error": "queue full"}),
+            (200, {}, {"ok": True}),
+        ]
+        client = ServiceClient(url, retries=2, backoff=0.01, sleep=sleeps.append)
+        assert client._request("GET", "/anything") == {"ok": True}
+        assert sleeps == [3.0]
+
+    def test_429_exhausting_retries_raises_service_error(self, scripted):
+        _, url = scripted
+        _ScriptedHandler.script = [
+            (429, {"Retry-After": "1"}, {"error": "queue full"})
+        ] * 3
+        client = ServiceClient(url, retries=2, backoff=0.01, sleep=lambda s: None)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/anything")
+        assert excinfo.value.status == 429
+
+    def test_5xx_retries_with_exponential_backoff(self, scripted):
+        _, url = scripted
+        sleeps = []
+        _ScriptedHandler.script = [
+            (500, {}, {"error": "transient"}),
+            (500, {}, {"error": "transient"}),
+            (200, {}, {"ok": True}),
+        ]
+        client = ServiceClient(url, retries=3, backoff=0.1, sleep=sleeps.append)
+        assert client._request("GET", "/anything") == {"ok": True}
+        assert sleeps == [0.1, 0.2]
+
+    def test_4xx_never_retries(self, scripted):
+        _, url = scripted
+        _ScriptedHandler.script = [(422, {}, {"error": "unknown policy"})]
+        client = ServiceClient(url, retries=5, backoff=0.01, sleep=lambda s: None)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/anything")
+        assert excinfo.value.status == 422
+        assert "unknown policy" in excinfo.value.message
+        assert len(_ScriptedHandler.calls) == 1
+
+    def test_unreachable_server_raises_service_unavailable(self):
+        client = ServiceClient(
+            "http://127.0.0.1:9", retries=1, backoff=0.01, sleep=lambda s: None
+        )
+        with pytest.raises(ServiceUnavailable):
+            client._request("GET", "/healthz")
+
+    def test_wait_times_out(self, scripted):
+        _, url = scripted
+        _ScriptedHandler.script = []
+        # Default script returns {"ok": True} with no status field — make
+        # the job endpoint return a perpetually running job instead.
+        _ScriptedHandler.script = [
+            (200, {}, {"id": "job-x", "status": "running"})
+        ] * 50
+        client = ServiceClient(url, retries=0, sleep=lambda s: None)
+        with pytest.raises(TimeoutError):
+            client.wait("job-x", poll_s=0.0, timeout=0.0)
+
+
+class TestRemoteEngineSurface:
+    def test_remote_engine_accepts_engine_kwargs(self, scripted):
+        # run_many must tolerate the SimEngine keyword surface even
+        # though the server decides workers/fast.
+        _, url = scripted
+        engine = RemoteEngine(ServiceClient(url))
+        assert engine.run_many([], workers=4, fast=True, use_cache=False) == []
+        assert engine.cached_results() == []
+        engine.close()

@@ -1,0 +1,161 @@
+"""Job payload parsing and validation (the 400-vs-422 boundary)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.jobs import (
+    InvalidJob,
+    Job,
+    MalformedJob,
+    parse_job_payload,
+)
+from repro.sim.config import SimulationConfig
+
+
+def _config_dict(**overrides) -> dict:
+    config = SimulationConfig(n_instructions=500)
+    data = config.to_dict()
+    data.update(overrides)
+    return data
+
+
+class TestStructuralValidation:
+    @pytest.mark.parametrize("payload", [None, 17, "job", ["run"]])
+    def test_non_object_payload_is_malformed(self, payload):
+        with pytest.raises(MalformedJob):
+            parse_job_payload(payload)
+
+    def test_unknown_kind_is_malformed(self):
+        with pytest.raises(MalformedJob, match="unknown job kind"):
+            parse_job_payload({"kind": "zap"})
+
+    def test_run_without_config_is_malformed(self):
+        with pytest.raises(MalformedJob, match="config"):
+            parse_job_payload({"kind": "run"})
+
+    def test_config_missing_keys_is_malformed(self):
+        with pytest.raises(MalformedJob, match="not a valid configuration"):
+            parse_job_payload({"kind": "run", "config": {"benchmark": "gcc"}})
+
+    def test_sweep_requires_benchmark_list(self):
+        with pytest.raises(MalformedJob, match="benchmarks"):
+            parse_job_payload({"kind": "sweep", "config": _config_dict()})
+        with pytest.raises(MalformedJob, match="benchmarks"):
+            parse_job_payload(
+                {"kind": "sweep", "config": _config_dict(), "benchmarks": []}
+            )
+
+    def test_batch_requires_config_list(self):
+        with pytest.raises(MalformedJob, match="configs"):
+            parse_job_payload({"kind": "batch", "configs": []})
+
+    def test_priority_must_be_integer(self):
+        with pytest.raises(MalformedJob, match="priority"):
+            parse_job_payload(
+                {"kind": "run", "config": _config_dict(), "priority": "high"}
+            )
+
+    def test_timeout_must_be_number(self):
+        with pytest.raises(MalformedJob, match="timeout_s"):
+            parse_job_payload(
+                {"kind": "run", "config": _config_dict(), "timeout_s": "soon"}
+            )
+
+
+class TestSemanticValidation:
+    def test_unknown_benchmark_is_invalid(self):
+        with pytest.raises(InvalidJob, match="unknown benchmark"):
+            parse_job_payload(
+                {"kind": "run", "config": _config_dict(benchmark="nope")}
+            )
+
+    def test_unknown_policy_is_invalid(self):
+        with pytest.raises(InvalidJob, match="unknown policy"):
+            parse_job_payload(
+                {
+                    "kind": "run",
+                    "config": _config_dict(
+                        dcache={"name": "warp-drive", "params": {}}
+                    ),
+                }
+            )
+
+    def test_bad_policy_parameter_is_invalid(self):
+        with pytest.raises(InvalidJob):
+            parse_job_payload(
+                {
+                    "kind": "run",
+                    "config": _config_dict(
+                        dcache={"name": "gated", "params": {"bogus_knob": 3}}
+                    ),
+                }
+            )
+
+    def test_unknown_feature_size_is_invalid(self):
+        with pytest.raises(InvalidJob):
+            parse_job_payload(
+                {"kind": "run", "config": _config_dict(feature_size_nm=12345)}
+            )
+
+    def test_out_of_band_priority_is_invalid(self):
+        with pytest.raises(InvalidJob, match="priority"):
+            parse_job_payload(
+                {"kind": "run", "config": _config_dict(), "priority": 10_000}
+            )
+
+    def test_negative_timeout_is_invalid(self):
+        with pytest.raises(InvalidJob, match="timeout_s"):
+            parse_job_payload(
+                {"kind": "run", "config": _config_dict(), "timeout_s": -1}
+            )
+
+
+class TestParsing:
+    def test_run_job(self):
+        job = parse_job_payload({"kind": "run", "config": _config_dict()})
+        assert job.kind == "run"
+        assert len(job.configs) == 1
+        assert job.labels == ["gcc"]
+        assert job.status == "queued"
+        assert job.id.startswith("job-")
+
+    def test_sweep_expands_benchmarks(self):
+        job = parse_job_payload(
+            {
+                "kind": "sweep",
+                "config": _config_dict(),
+                "benchmarks": ["gcc", "art", "mcf"],
+            }
+        )
+        assert [c.benchmark for c in job.configs] == ["gcc", "art", "mcf"]
+        assert job.labels == ["gcc", "art", "mcf"]
+
+    def test_explicit_id_round_trips(self):
+        job = parse_job_payload(
+            {"kind": "run", "config": _config_dict(), "id": "job-abc"}
+        )
+        assert job.id == "job-abc"
+
+    @pytest.mark.parametrize("bad_id", ["", "my job", "a/b", "x" * 200, 7])
+    def test_unroutable_ids_are_malformed(self, bad_id):
+        with pytest.raises(MalformedJob, match="id must be"):
+            parse_job_payload(
+                {"kind": "run", "config": _config_dict(), "id": bad_id}
+            )
+
+    def test_journal_round_trip_is_exact(self):
+        job = parse_job_payload(
+            {
+                "kind": "sweep",
+                "config": _config_dict(),
+                "benchmarks": ["gcc", "art"],
+                "priority": 7,
+                "timeout_s": 30.0,
+            }
+        )
+        clone = Job.from_dict(job.to_dict())
+        assert clone.to_dict() == job.to_dict()
+        assert [c.cache_key() for c in clone.configs] == [
+            c.cache_key() for c in job.configs
+        ]

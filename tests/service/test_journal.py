@@ -1,0 +1,97 @@
+"""Write-ahead journal: replay, compaction, locking, torn writes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.jobs import Job
+from repro.service.journal import JobJournal, JournalLocked
+from repro.sim.config import SimulationConfig
+
+
+def _job(benchmark="gcc", job_id=None, instructions=500):
+    job = Job(
+        kind="run",
+        configs=[SimulationConfig(benchmark=benchmark, n_instructions=instructions)],
+        labels=[benchmark],
+    )
+    if job_id:
+        job.id = job_id
+    return job
+
+
+class TestReplay:
+    def test_unfinished_jobs_replay_in_order(self, tmp_path):
+        journal = JobJournal(tmp_path / "wal")
+        first = _job("gcc", "job-1")
+        second = _job("art", "job-2")
+        third = _job("mcf", "job-3")
+        for job in (first, second, third):
+            journal.record_submit(job)
+        second.status = "done"
+        journal.record_finish(second)
+        journal.close()
+
+        replayed = JobJournal(tmp_path / "wal").replay()
+        assert [job.id for job in replayed] == ["job-1", "job-3"]
+        assert replayed[0].configs[0].benchmark == "gcc"
+
+    def test_failed_and_cancelled_jobs_do_not_replay(self, tmp_path):
+        journal = JobJournal(tmp_path / "wal")
+        failed = _job("gcc", "job-f")
+        cancelled = _job("art", "job-c")
+        journal.record_submit(failed)
+        journal.record_submit(cancelled)
+        failed.status, failed.error = "failed", "boom"
+        journal.record_finish(failed)
+        cancelled.status = "cancelled"
+        journal.record_finish(cancelled)
+        journal.close()
+        assert JobJournal(tmp_path / "wal").replay() == []
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        journal = JobJournal(tmp_path / "wal")
+        journal.record_submit(_job("gcc", "job-ok"))
+        journal.close()
+        with open(tmp_path / "wal", "a", encoding="utf-8") as handle:
+            handle.write('{"v":1,"event":"submit","job":{"id":"job-torn"')
+        replayed = JobJournal(tmp_path / "wal").replay()
+        assert [job.id for job in replayed] == ["job-ok"]
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        journal = JobJournal(tmp_path / "wal")
+        journal.close()
+        (tmp_path / "wal").unlink()
+        assert journal.replay() == []
+
+
+class TestCompaction:
+    def test_compact_rewrites_to_live_jobs_only(self, tmp_path):
+        journal = JobJournal(tmp_path / "wal")
+        live = _job("gcc", "job-live")
+        dead = _job("art", "job-dead")
+        journal.record_submit(live)
+        journal.record_submit(dead)
+        dead.status = "done"
+        journal.record_finish(dead)
+        journal.compact(journal.replay())
+        lines = (tmp_path / "wal").read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["job"]["id"] == "job-live"
+        # The journal stays appendable after compaction.
+        journal.record_submit(_job("mcf", "job-after"))
+        journal.close()
+        replayed = JobJournal(tmp_path / "wal").replay()
+        assert [job.id for job in replayed] == ["job-live", "job-after"]
+
+
+class TestLocking:
+    def test_second_journal_on_same_path_fails_fast(self, tmp_path):
+        journal = JobJournal(tmp_path / "wal")
+        with pytest.raises(JournalLocked):
+            JobJournal(tmp_path / "wal")
+        journal.close()
+        # Released on close: a new server can take over.
+        JobJournal(tmp_path / "wal").close()

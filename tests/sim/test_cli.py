@@ -229,7 +229,7 @@ class TestBenchCommand:
         )
         assert status == 0
         payload = json.loads(output.read_text())
-        assert payload["schema"] == "repro-bench/pr4"
+        assert payload["schema"] == "repro-bench/pr5"
         assert payload["summary"]["all_identical"] is True
         assert payload["sweep_benchmarks"]["speedup"] > 0
         assert len(payload["l2_grid"]) == 5  # one benchmark x five L2 policies
@@ -250,7 +250,14 @@ class TestBenchCommand:
         assert status == 3
         assert "REGRESSION" in out
 
-    def test_vs_pr3_requires_matching_instruction_counts(self, capsys, tmp_path):
+    def test_service_clients_must_be_positive(self, capsys, tmp_path):
+        status, _ = run_cli(
+            capsys, "bench", "--service", "--clients", "0",
+            "--output", str(tmp_path / "b.json"),
+        )
+        assert status == 2
+
+    def test_vs_compare_requires_matching_instruction_counts(self, capsys, tmp_path):
         compare = tmp_path / "BENCH_prev.json"
         compare.write_text(json.dumps({
             "instructions": 999_999,
@@ -264,5 +271,5 @@ class TestBenchCommand:
         )
         assert status == 0
         payload = json.loads(output.read_text())
-        assert all("vs_pr3" not in row for row in payload["l2_grid"])
-        assert "vs_pr3_grid_geomean" not in payload["summary"]
+        assert all("vs_compare" not in row for row in payload["l2_grid"])
+        assert "vs_compare_grid_geomean" not in payload["summary"]
