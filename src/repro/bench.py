@@ -2,7 +2,7 @@
 
 Measures the fast-path kernel and the sweep runtime against the
 reference cycle loop and writes a ``BENCH_*.json`` artifact (the
-committed ``BENCH_pr4.json`` at the repository root is this harness's
+committed ``BENCH_pr6.json`` at the repository root is this harness's
 output at the default size).  The ad-hoc ``benchmarks/perf_prN.py``
 scripts from earlier PRs are superseded: ``benchmarks/perf_pr4.py`` is a
 thin wrapper over this module.
@@ -31,6 +31,12 @@ Three sections:
   clients over real HTTP, against the same configurations executed
   directly on the engine.  Reports jobs/sec, p50/p95 job latency, the
   coalesce rate, and the service overhead per unique unit.
+* ``loadgen`` (with ``--service``) — a small open-loop saturation curve
+  measured by :mod:`repro.loadgen` against a live in-process server:
+  offered vs achieved jobs/sec, latency percentiles and 429 counts per
+  offered rate, with sampled results byte-checked against a local
+  engine.  This is what makes service traffic a regression-gated
+  workload.
 * ``summary`` — geometric-mean speedups, the identity verdict, and the
   ``vs_compare`` geomean.
 
@@ -70,7 +76,7 @@ __all__ = [
 ]
 
 #: Schema tag of the emitted artifact.
-SCHEMA = "repro-bench/pr5"
+SCHEMA = "repro-bench/pr6"
 
 #: Benchmark subset for the per-run grid (the full sixteen are covered
 #: by the sweep entry; the grid shows per-L2-policy behaviour).  Same
@@ -356,10 +362,10 @@ def _check_baseline(summary: dict, baseline_path: Path, tolerance: float, echo) 
 
 def run_bench(
     instructions: int = 30_000,
-    output: str = "BENCH_pr5.json",
+    output: str = "BENCH_pr6.json",
     grid_benchmarks: Sequence[str] = GRID_BENCHMARKS,
     repeats: int = 2,
-    compare: Optional[str] = "BENCH_pr4.json",
+    compare: Optional[str] = "BENCH_pr5.json",
     baseline: Optional[str] = None,
     tolerance: float = 0.5,
     service_clients: Optional[int] = None,
@@ -382,9 +388,15 @@ def run_bench(
     rows = _time_grid(instructions, grid_benchmarks, repeats, compare_times, echo)
 
     service = None
+    loadgen = None
     if service_clients:
         echo(f"timing the job service at {service_clients} concurrent clients...")
         service = _time_service(instructions, service_clients, echo)
+
+        from repro.loadgen.report import bench_loadgen_section
+
+        echo("measuring the loadgen saturation curve (open loop, Poisson)...")
+        loadgen = bench_loadgen_section(instructions, echo=echo)
 
     speedups = [row["speedup"] for row in rows]
     vs_compare = [row["vs_compare"] for row in rows if "vs_compare" in row]
@@ -402,6 +414,9 @@ def run_bench(
         summary["all_identical"] = summary["all_identical"] and service["identical"]
         summary["service_jobs_per_s"] = service["jobs_per_s"]
         summary["service_p95_s"] = service["job_latency_p95_s"]
+    if loadgen is not None:
+        summary["all_identical"] = summary["all_identical"] and loadgen["identical"]
+        summary["loadgen_peak_achieved_per_s"] = loadgen["peak_achieved_per_s"]
     payload = {
         "schema": SCHEMA,
         "instructions": instructions,
@@ -417,6 +432,8 @@ def run_bench(
     }
     if service is not None:
         payload["service"] = service
+    if loadgen is not None:
+        payload["loadgen"] = loadgen
     Path(output).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     echo(f"wrote {output}")
 
@@ -442,8 +459,8 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
              "default; 6000 under --smoke)",
     )
     parser.add_argument(
-        "--output", default="BENCH_pr5.json", metavar="PATH",
-        help="destination JSON (default: BENCH_pr5.json)",
+        "--output", default="BENCH_pr6.json", metavar="PATH",
+        help="destination JSON (default: BENCH_pr6.json)",
     )
     parser.add_argument(
         "--service", action="store_true",
@@ -464,9 +481,9 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
              "1 under --smoke)",
     )
     parser.add_argument(
-        "--compare", default="BENCH_pr4.json", metavar="PATH",
+        "--compare", default="BENCH_pr5.json", metavar="PATH",
         help="previous bench artifact for per-row vs_compare ratios "
-             "(default: BENCH_pr4.json; missing file is fine)",
+             "(default: BENCH_pr5.json; missing file is fine)",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",

@@ -19,6 +19,8 @@ Reproduce the paper from a shell::
     python -m repro submit --server http://127.0.0.1:8023 --benchmarks gcc,art --dcache gated
     python -m repro jobs --server http://127.0.0.1:8023
     python -m repro run --benchmark gcc --dcache gated --server http://127.0.0.1:8023
+    python -m repro loadgen --server http://127.0.0.1:8023 --rate 20 --duration 5
+    python -m repro loadgen --server http://127.0.0.1:8023 --sweep 5,10,20,40
 
 Every subcommand accepts ``--json`` for machine-readable output; run and
 sweep results are full :meth:`~repro.sim.metrics.RunResult.to_dict`
@@ -264,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON on stdout"
     )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive a live repro service with generated or replayed traffic",
+    )
+    from repro.loadgen.cli import add_loadgen_arguments
+
+    add_loadgen_arguments(loadgen)
 
     serve = subparsers.add_parser(
         "serve",
@@ -513,6 +523,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen.cli import run_from_args as loadgen_run
+
+    return loadgen_run(args)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import logging
 
@@ -661,6 +677,7 @@ _COMMANDS = {
     "policies": _cmd_policies,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "loadgen": _cmd_loadgen,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,

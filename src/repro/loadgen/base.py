@@ -1,0 +1,316 @@
+"""Request, engine and arrival-process abstractions.
+
+A :class:`Request` is one job submission: the JSON payload for
+``POST /v1/jobs`` plus the offset (seconds from stream start) at which
+an open-loop driver should send it.  A :class:`RequestEngine` produces
+a stream of requests; the concrete engines live in
+:mod:`~repro.loadgen.synthetic` (seeded mixes) and
+:mod:`~repro.loadgen.replay` (recorded sessions).
+
+**Open loop vs closed loop.**  An *open-loop* driver sends requests at
+the times an external arrival process dictates, whether or not the
+service keeps up — offered load is independent of service state, which
+is what makes saturation measurable (a lagging service shows up as
+request *lateness* and queue growth, not as a silently reduced offered
+rate).  A *closed-loop* driver models N users who each wait for their
+previous request before thinking and sending the next; offered load is
+then throttled by service latency.  Real traffic is open-loop at the
+edge; benchmarks that storm with closed loops systematically
+understate overload behaviour, so both are first-class here.
+
+**Rate schedules.**  Open-loop rates are time-varying functions
+``rate(t)`` parsed from a small spec language that reuses the scenario
+idiom (:mod:`repro.workloads.scenarios`):
+
+* ``"25"`` — constant 25 requests/second;
+* ``"phases:10+80@5"`` — piecewise-constant *bursty phases*: 10 r/s
+  for 5 s, then 80 r/s for 5 s, cycling;
+* ``"diurnal:5+40@60"`` — a smooth diurnal wave between 5 and 40 r/s
+  with a 60 s period (one simulated "day").
+
+Both arrival processes accept any schedule: :class:`PoissonArrivals`
+draws a seeded inhomogeneous Poisson process (by thinning against the
+schedule's peak rate), :class:`DeterministicArrivals` paces requests
+evenly at the instantaneous rate.  Identical seed and schedule always
+reproduce the identical arrival stream.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Sequence
+
+__all__ = [
+    "ConstantRate",
+    "DeterministicArrivals",
+    "DiurnalRate",
+    "PhasedRate",
+    "PoissonArrivals",
+    "RateSchedule",
+    "Request",
+    "RequestEngine",
+    "parse_rate_schedule",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One job submission in a generated or recorded stream.
+
+    Attributes:
+        at_s: Scheduled send offset, seconds from stream start
+            (open-loop drivers pace on it; closed-loop drivers ignore
+            it).
+        payload: The ``POST /v1/jobs`` body, exactly as it goes over
+            the wire.
+        tag: Short display label (e.g. ``"run:gcc/gated:150"``).
+    """
+
+    at_s: float
+    payload: Dict[str, Any] = field(hash=False)
+    tag: str = ""
+
+
+class RequestEngine:
+    """Produces a request stream (the ``ReqGenEngine`` of this driver).
+
+    Subclasses implement :meth:`requests`; streams may be infinite
+    (drivers cut them at the run duration) or finite (recorded
+    sessions end).
+    """
+
+    def requests(self) -> Iterator[Request]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human description for reports."""
+        return type(self).__name__
+
+
+# ----------------------------------------------------------------------
+# Rate schedules
+# ----------------------------------------------------------------------
+class RateSchedule:
+    """A time-varying offered rate, requests/second."""
+
+    def rate(self, t: float) -> float:
+        raise NotImplementedError
+
+    def max_rate(self) -> float:
+        """An upper bound on :meth:`rate` (thinning envelope)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def mean_rate(self, duration: float, steps: int = 1000) -> float:
+        """The schedule's average rate over ``[0, duration)``.
+
+        The offered-load figure a saturation curve plots against: for a
+        constant schedule it is the rate itself; for phased/diurnal
+        schedules it is the time average (midpoint rule).
+        """
+        if duration <= 0:
+            return 0.0
+        dt = duration / steps
+        return sum(self.rate((i + 0.5) * dt) for i in range(steps)) / steps
+
+
+@dataclass(frozen=True)
+class ConstantRate(RateSchedule):
+    """A fixed offered rate."""
+
+    per_second: float
+
+    def rate(self, t: float) -> float:
+        return self.per_second
+
+    def max_rate(self) -> float:
+        return self.per_second
+
+    def describe(self) -> str:
+        return f"{self.per_second:g}/s"
+
+
+@dataclass(frozen=True)
+class PhasedRate(RateSchedule):
+    """Piecewise-constant rates, each held for ``quantum`` seconds.
+
+    The load-side twin of the ``phases:`` scenario family: the offered
+    rate steps through the listed values in order and cycles, which is
+    how bursts are expressed (``phases:10+100@5`` is a 10x burst every
+    other 5 seconds).
+    """
+
+    rates: Sequence[float]
+    quantum: float
+
+    def rate(self, t: float) -> float:
+        index = int(t / self.quantum) % len(self.rates)
+        return self.rates[index]
+
+    def max_rate(self) -> float:
+        return max(self.rates)
+
+    def describe(self) -> str:
+        steps = "+".join(f"{rate:g}" for rate in self.rates)
+        return f"phases:{steps}@{self.quantum:g}s"
+
+
+@dataclass(frozen=True)
+class DiurnalRate(RateSchedule):
+    """A smooth wave between a low and a high rate.
+
+    ``rate(t) = low + (high - low) * (1 - cos(2*pi*t/period)) / 2`` —
+    the stream starts at the trough, peaks at half a period, and
+    returns: one compressed "day" of traffic per period.
+    """
+
+    low: float
+    high: float
+    period: float
+
+    def rate(self, t: float) -> float:
+        swing = (1.0 - math.cos(2.0 * math.pi * t / self.period)) / 2.0
+        return self.low + (self.high - self.low) * swing
+
+    def max_rate(self) -> float:
+        return max(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"diurnal:{self.low:g}+{self.high:g}@{self.period:g}s"
+
+
+def _parse_positive(text: str, what: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(f"{what} must be a number (got {text!r})") from None
+    if not value > 0 or not math.isfinite(value):
+        raise ValueError(f"{what} must be positive and finite (got {text!r})")
+    return value
+
+
+def parse_rate_schedule(text: str) -> RateSchedule:
+    """Parse a rate spec: a number, ``phases:...@T`` or ``diurnal:...@T``.
+
+    Raises:
+        ValueError: for a malformed spec, echoing the scenario
+            language's error style.
+    """
+    spec = text.strip()
+    prefix, sep, rest = spec.partition(":")
+    family = prefix.strip().lower() if sep else None
+    if family == "phases":
+        body, _, quantum_text = rest.partition("@")
+        parts = [part.strip() for part in body.split("+") if part.strip()]
+        if len(parts) < 2:
+            raise ValueError(
+                f"phases: rate schedules take at least two '+'-separated "
+                f"rates (got {rest!r})"
+            )
+        rates = tuple(_parse_positive(part, "phases: rate") for part in parts)
+        quantum = (
+            _parse_positive(quantum_text, "phases: quantum") if quantum_text else 5.0
+        )
+        return PhasedRate(rates=rates, quantum=quantum)
+    if family == "diurnal":
+        body, _, period_text = rest.partition("@")
+        parts = [part.strip() for part in body.split("+") if part.strip()]
+        if len(parts) != 2:
+            raise ValueError(
+                f"diurnal: rate schedules take exactly low+high (got {rest!r})"
+            )
+        low = _parse_positive(parts[0], "diurnal: low rate")
+        high = _parse_positive(parts[1], "diurnal: high rate")
+        period = (
+            _parse_positive(period_text, "diurnal: period") if period_text else 60.0
+        )
+        return DiurnalRate(low=low, high=high, period=period)
+    if family is not None:
+        raise ValueError(
+            f"unknown rate schedule family {prefix!r}; expected a number, "
+            f"'phases:...' or 'diurnal:...'"
+        )
+    return ConstantRate(_parse_positive(spec, "rate"))
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+class ArrivalProcess:
+    """Generates the offsets (seconds) at which open-loop requests go out."""
+
+    def arrivals(self, duration: float) -> Iterator[float]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """A seeded (inhomogeneous) Poisson arrival process.
+
+    Candidate arrivals are drawn at the schedule's peak rate and
+    *thinned* to the instantaneous rate — the textbook exact sampler
+    for time-varying Poisson processes, and reproducible: the same
+    ``(schedule, seed)`` always yields the same offsets.
+    """
+
+    def __init__(self, schedule: RateSchedule, seed: int = 1) -> None:
+        self.schedule = schedule
+        self.seed = seed
+
+    def arrivals(self, duration: float) -> Iterator[float]:
+        rng = random.Random(self.seed)
+        peak = self.schedule.max_rate()
+        t = 0.0
+        while True:
+            t += rng.expovariate(peak)
+            if t >= duration:
+                return
+            if rng.random() * peak < self.schedule.rate(t):
+                yield t
+
+    def describe(self) -> str:
+        return f"poisson({self.schedule.describe()}, seed={self.seed})"
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Evenly paced arrivals at the schedule's instantaneous rate.
+
+    The metronome counterpart of :class:`PoissonArrivals`: the gap
+    after an arrival at time ``t`` is ``1 / rate(t)``.  With no
+    randomness the stream is trivially reproducible; it isolates
+    queueing behaviour from arrival burstiness.
+    """
+
+    def __init__(self, schedule: RateSchedule) -> None:
+        self.schedule = schedule
+
+    def arrivals(self, duration: float) -> Iterator[float]:
+        t = 0.0
+        while True:
+            t += 1.0 / self.schedule.rate(t)
+            if t >= duration:
+                return
+            yield t
+
+    def describe(self) -> str:
+        return f"deterministic({self.schedule.describe()})"
+
+
+def take_requests(engine: RequestEngine, duration: float) -> List[Request]:
+    """Materialise an engine's stream up to ``duration`` seconds.
+
+    The common driver prologue: recorded sessions simply end, infinite
+    synthetic streams are cut at the horizon.
+    """
+    out: List[Request] = []
+    for request in engine.requests():
+        if request.at_s >= duration:
+            break
+        out.append(request)
+    return out

@@ -1,0 +1,237 @@
+"""The ``repro loadgen`` subcommand.
+
+Drive a live service::
+
+    repro loadgen --server http://127.0.0.1:8023 --rate 20 --duration 5
+    repro loadgen --server URL --rate phases:10+80@5 --duration 20
+    repro loadgen --server URL --mode closed --clients 8 --think 0.05
+    repro loadgen --server URL --sweep 5,10,20,40 --duration 5
+    repro loadgen --server URL --replay session.jsonl --speed 2
+    repro loadgen --record-from-journal jobs.wal --record session.jsonl
+
+Exit status: ``0`` success; ``1`` when the sampled byte-identity check
+against a local engine fails (the run found a real correctness bug);
+``2`` bad usage; ``4`` when ``--min-achieved-ratio`` is given and the
+service completed a smaller fraction of the offered load (the CI
+load-smoke gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .base import (
+    DeterministicArrivals,
+    PoissonArrivals,
+    RequestEngine,
+    parse_rate_schedule,
+    take_requests,
+)
+from .replay import ReplayEngine, record_from_journal, write_session
+from .report import format_curve, format_report
+from .runner import LoadReport, LoadRunner, saturation_sweep
+from .synthetic import MixEngine, parse_mix
+
+__all__ = ["add_loadgen_arguments", "build_parser", "main", "run_from_args"]
+
+#: Default payload mix: two benchmarks x two decay thresholds.
+DEFAULT_MIX = "gcc/gated,art/gated,gcc/gated:threshold=200*2"
+
+
+def add_loadgen_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the subcommand's options (shared with the ``repro`` CLI)."""
+    parser.add_argument("--server", metavar="URL", default=None,
+                        help="service base URL, e.g. http://127.0.0.1:8023 "
+                             "(required except with --record-from-journal)")
+    parser.add_argument("--mode", choices=("open", "closed"), default="open",
+                        help="open loop (rate-paced arrivals) or closed loop "
+                             "(N waiting clients; default: open)")
+    parser.add_argument("--rate", default="10", metavar="SPEC",
+                        help="open-loop offered rate: a number, "
+                             "'phases:R1+R2@T' or 'diurnal:LO+HI@T' "
+                             "(default: 10)")
+    parser.add_argument("--arrivals", choices=("poisson", "deterministic"),
+                        default="poisson",
+                        help="open-loop arrival process (default: poisson)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="closed-loop concurrent clients (default: 4)")
+    parser.add_argument("--think", type=float, default=0.0, metavar="S",
+                        help="closed-loop think time between jobs (default: 0)")
+    parser.add_argument("--duration", type=float, default=10.0, metavar="S",
+                        help="offered-load window, seconds (default: 10)")
+    parser.add_argument("--mix", default=DEFAULT_MIX, metavar="SPEC",
+                        help="payload mix: 'bench[/policy][*weight],...'; "
+                             "'A+B/policy' entries submit sweep jobs "
+                             f"(default: {DEFAULT_MIX})")
+    parser.add_argument("--instructions", type=int, default=4000,
+                        help="micro-ops per submitted configuration "
+                             "(default: 4000)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="generator seed; identical seed + mix + rate "
+                             "reproduce the identical request stream "
+                             "(default: 1)")
+    parser.add_argument("--sweep", default=None, metavar="R1,R2,...",
+                        help="saturation sweep: one open-loop point per "
+                             "offered rate (overrides --rate/--mode)")
+    parser.add_argument("--replay", default=None, metavar="PATH",
+                        help="replay a recorded session file instead of "
+                             "generating synthetic traffic")
+    parser.add_argument("--speed", type=float, default=1.0,
+                        help="replay speed multiplier; 2 halves every "
+                             "inter-arrival gap (default: 1)")
+    parser.add_argument("--record", default=None, metavar="PATH",
+                        help="write the driven request stream to a session "
+                             "file for later --replay")
+    parser.add_argument("--record-from-journal", default=None, metavar="WAL",
+                        help="derive a session file (--record PATH) from a "
+                             "server write-ahead journal and exit")
+    parser.add_argument("--verify", type=int, default=3, metavar="N",
+                        help="sampled configs byte-checked against a local "
+                             "engine per run; 0 disables (default: 3)")
+    parser.add_argument("--min-achieved-ratio", type=float, default=None,
+                        metavar="F",
+                        help="exit 4 when completed/offered falls below F "
+                             "(the CI load-smoke gate)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON on stdout")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="also write the JSON report to PATH")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen", description=__doc__.splitlines()[0]
+    )
+    add_loadgen_arguments(parser)
+    return parser
+
+
+def _make_engine(args: argparse.Namespace, rate: Optional[str] = None) -> RequestEngine:
+    if args.replay:
+        return ReplayEngine(args.replay, speed=args.speed)
+    mix = parse_mix(args.mix, instructions=args.instructions)
+    schedule = parse_rate_schedule(rate if rate is not None else args.rate)
+    if args.arrivals == "poisson":
+        arrivals = PoissonArrivals(schedule, seed=args.seed)
+    else:
+        arrivals = DeterministicArrivals(schedule)
+    return MixEngine(mix, arrivals, seed=args.seed)
+
+
+def _emit(args: argparse.Namespace, payload: Dict[str, Any], text: str) -> None:
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        print(text)
+        if args.output:
+            print(f"wrote {args.output}")
+
+
+def _gate(args: argparse.Namespace, reports: List[LoadReport]) -> int:
+    """The regression gates: identity (exit 1), achieved ratio (exit 4)."""
+    identity_values = [
+        r.identity_ok for r in reports if r.identity_ok is not None
+    ]
+    if identity_values and not all(identity_values):
+        print("repro loadgen: ERROR: served results diverged from the "
+              "local engine (identity check failed)")
+        return 1
+    if args.min_achieved_ratio is not None:
+        worst = min((r.achieved_ratio for r in reports), default=1.0)
+        if worst < args.min_achieved_ratio:
+            print(
+                f"repro loadgen: ERROR: achieved/offered ratio {worst:.3f} "
+                f"below the --min-achieved-ratio {args.min_achieved_ratio} gate"
+            )
+            return 4
+    return 0
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute ``repro loadgen`` from parsed arguments."""
+    if args.record_from_journal:
+        if not args.record:
+            raise ValueError("--record-from-journal needs --record PATH for "
+                             "the session file destination")
+        count = record_from_journal(args.record_from_journal, args.record)
+        print(f"recorded {count} request(s) from {args.record_from_journal} "
+              f"to {args.record}")
+        return 0
+    if not args.server:
+        raise ValueError("--server URL is required (or use "
+                         "--record-from-journal to convert a journal offline)")
+    if args.duration <= 0:
+        raise ValueError("--duration must be positive")
+    if args.clients < 1:
+        raise ValueError("--clients must be at least 1")
+
+    runner = LoadRunner(args.server)
+
+    if args.sweep:
+        try:
+            rates = [float(part) for part in args.sweep.split(",") if part.strip()]
+        except ValueError:
+            raise ValueError(
+                f"--sweep takes comma-separated rates (got {args.sweep!r})"
+            ) from None
+        if len(rates) < 2:
+            raise ValueError("--sweep needs at least two offered rates")
+        reports = saturation_sweep(
+            runner,
+            lambda rate: _make_engine(args, rate=str(rate)),
+            rates,
+            args.duration,
+            verify_sample=args.verify,
+            echo=None if args.json else print,
+        )
+        payload = {
+            "kind": "repro-loadgen/sweep",
+            "duration_s": args.duration,
+            "seed": args.seed,
+            "points": [report.to_dict() for report in reports],
+        }
+        _emit(args, payload, format_curve(reports))
+        return _gate(args, reports)
+
+    engine = _make_engine(args)
+    if args.record:
+        count = write_session(
+            args.record,
+            take_requests(engine, args.duration),
+            source=engine.describe(),
+        )
+        if not args.json:
+            print(f"recorded {count} request(s) to {args.record}")
+    if args.mode == "closed":
+        report = runner.closed_loop(
+            engine, clients=args.clients, duration=args.duration,
+            think_s=args.think,
+        )
+    else:
+        report = runner.open_loop(engine, args.duration)
+    runner.verify(report, sample=args.verify)
+    payload = {"kind": "repro-loadgen/run", "seed": args.seed}
+    payload.update(report.to_dict())
+    _emit(args, payload, format_report(report))
+    return _gate(args, [report])
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.loadgen.cli``)."""
+    args = build_parser().parse_args(argv)
+    try:
+        return run_from_args(args)
+    except ValueError as error:
+        print(f"repro loadgen: error: {error}")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

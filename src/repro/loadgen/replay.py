@@ -1,0 +1,234 @@
+"""Recorded-session traffic: session files, the journal recorder, replay.
+
+A **session file** is the durable form of a request stream: JSON lines,
+one header line followed by one line per request::
+
+    {"v": 1, "kind": "repro-loadgen/session", "source": "..."}
+    {"at_s": 0.0,   "tag": "run:gcc/gated", "payload": {...}}
+    {"at_s": 0.041, "tag": "run:art/gated", "payload": {...}}
+
+``at_s`` offsets are seconds from the first request; payloads are
+verbatim ``POST /v1/jobs`` bodies.  Sessions come from two recorders:
+
+* the driver itself (``repro loadgen --record PATH``) persists the
+  stream it generated or drove, so an interesting synthetic burst can
+  be replayed exactly, later, against a different server build;
+* :func:`record_from_journal` derives a session from a server's
+  write-ahead journal: every ``submit`` event carries a wall-clock
+  timestamp (see :mod:`repro.service.journal`), so real accepted
+  traffic becomes a replayable workload with its inter-arrival gaps
+  preserved.
+
+:class:`ReplayEngine` turns a session back into a request stream.  A
+``speed`` multiplier compresses (or stretches) the gaps — ``speed=2``
+replays a recorded hour in thirty minutes at twice the offered rate —
+and client-supplied job ids are dropped so a replay never collides
+with the session's original ids (HTTP 409).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from .base import Request, RequestEngine
+
+__all__ = [
+    "ReplayEngine",
+    "read_session",
+    "record_from_journal",
+    "write_session",
+]
+
+#: The header's ``kind`` tag; :func:`read_session` rejects other files.
+SESSION_KIND = "repro-loadgen/session"
+
+
+def write_session(
+    path: Union[str, Path], requests: Iterable[Request], source: str = ""
+) -> int:
+    """Write a session file; returns the number of requests written.
+
+    Offsets are re-based so the first request is at 0.0 — a stream cut
+    out of a longer run replays without its leading silence.
+    """
+    requests = list(requests)
+    base = requests[0].at_s if requests else 0.0
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {"v": 1, "kind": SESSION_KIND, "source": source},
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        for request in requests:
+            handle.write(
+                json.dumps(
+                    {
+                        "at_s": round(max(0.0, request.at_s - base), 6),
+                        "tag": request.tag,
+                        "payload": request.payload,
+                    },
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+    return len(requests)
+
+
+def read_session(path: Union[str, Path]) -> List[Request]:
+    """Load a session file back into requests (offsets preserved).
+
+    Raises:
+        ValueError: for a missing/empty file, a bad header, or a
+            request line without the required fields.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as error:
+        raise ValueError(f"cannot read session {path}: {error}") from None
+    lines = [line for line in lines if line.strip()]
+    if not lines:
+        raise ValueError(f"session {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        header = None
+    if not isinstance(header, dict) or header.get("kind") != SESSION_KIND:
+        raise ValueError(
+            f"{path} is not a loadgen session file (missing "
+            f"{SESSION_KIND!r} header)"
+        )
+    requests: List[Request] = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+            at_s = float(record["at_s"])
+            payload = record["payload"]
+        except (ValueError, KeyError, TypeError):
+            raise ValueError(f"{path}:{number}: malformed session line") from None
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}:{number}: payload must be a JSON object")
+        # Replaying a client-pinned id would 409 against the original
+        # submission (and against sibling replays); ids are per-send.
+        payload = {k: v for k, v in payload.items() if k != "id"}
+        requests.append(
+            Request(at_s=at_s, payload=payload, tag=str(record.get("tag", "")))
+        )
+    return requests
+
+
+def record_from_journal(
+    journal_path: Union[str, Path],
+    out_path: Union[str, Path],
+    default_gap_s: float = 0.0,
+) -> int:
+    """Derive a session file from a server's write-ahead journal.
+
+    Reads the journal's ``submit`` events (terminal events are
+    irrelevant to arrival timing) and rebuilds each job's submission
+    payload from its durable form.  Inter-arrival gaps come from the
+    per-event wall-clock timestamps; events without one (journals
+    written before timestamps existed, or compacted entries) advance by
+    ``default_gap_s``.  Returns the number of requests recorded.
+
+    Raises:
+        ValueError: when the journal is unreadable or holds no submit
+            events.
+    """
+    journal_path = Path(journal_path)
+    try:
+        lines = journal_path.read_text(encoding="utf-8").splitlines()
+    except OSError as error:
+        raise ValueError(f"cannot read journal {journal_path}: {error}") from None
+    requests: List[Request] = []
+    clock = 0.0
+    last_t = None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue  # a torn final line, exactly as journal replay tolerates
+        if not isinstance(event, dict) or event.get("event") != "submit":
+            continue
+        job = event.get("job")
+        if not isinstance(job, dict) or not job.get("configs"):
+            continue
+        t = event.get("t")
+        if isinstance(t, (int, float)) and last_t is not None:
+            clock += max(0.0, float(t) - last_t)
+        elif requests:
+            clock += default_gap_s
+        if isinstance(t, (int, float)):
+            last_t = float(t)
+        payload = _submission_payload(job)
+        if payload is not None:
+            requests.append(
+                Request(at_s=clock, payload=payload, tag=f"journal:{job.get('id')}")
+            )
+    if not requests:
+        raise ValueError(f"journal {journal_path} holds no submit events")
+    return write_session(out_path, requests, source=f"journal:{journal_path}")
+
+
+def _submission_payload(job: dict) -> "dict | None":
+    """Rebuild the ``POST /v1/jobs`` body from a journaled job document.
+
+    The journal stores the *parsed* job (kind + expanded configs); this
+    inverts that expansion so a replayed sweep is again one sweep job
+    the server can coalesce, not N separate runs.
+    """
+    kind = job.get("kind")
+    configs = job.get("configs") or []
+    if kind == "run" and len(configs) == 1:
+        payload = {"kind": "run", "config": configs[0]}
+    elif kind == "sweep" and job.get("labels"):
+        payload = {
+            "kind": "sweep",
+            "config": configs[0],
+            "benchmarks": list(job["labels"]),
+        }
+    elif kind == "batch":
+        payload = {"kind": "batch", "configs": list(configs)}
+    else:
+        return None
+    if job.get("priority"):
+        payload["priority"] = job["priority"]
+    if job.get("timeout_s") is not None:
+        payload["timeout_s"] = job["timeout_s"]
+    return payload
+
+
+class ReplayEngine(RequestEngine):
+    """Replay a recorded session, gaps preserved, at a speed multiplier."""
+
+    def __init__(self, path: Union[str, Path], speed: float = 1.0) -> None:
+        if not speed > 0:
+            raise ValueError(f"replay speed must be positive (got {speed})")
+        self.path = Path(path)
+        self.speed = speed
+        self._requests = read_session(self.path)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def requests(self) -> Iterator[Request]:
+        for request in self._requests:
+            yield Request(
+                at_s=request.at_s / self.speed,
+                payload=request.payload,
+                tag=request.tag,
+            )
+
+    def describe(self) -> str:
+        label = f"replay:{self.path.name} ({len(self._requests)} requests)"
+        if self.speed != 1.0:
+            label += f" at {self.speed:g}x"
+        return label

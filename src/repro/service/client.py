@@ -7,6 +7,10 @@ with the retry discipline the server's admission control expects:
   before retrying;
 * transient transport failures and 5xx responses retry with
   exponential backoff and a retry budget;
+* every retry sleep is **jittered** (AWS-style full jitter: a uniform
+  draw over the backoff window) so a fleet of clients rejected at the
+  same instant does not come back as one synchronised thundering herd —
+  a ``Retry-After`` hint keeps a floor of half the server's figure;
 * 4xx responses never retry — they surface as :class:`ServiceError`
   with the server's message (so an unknown policy reads exactly like a
   local validation error).
@@ -22,6 +26,7 @@ its exact :meth:`~repro.sim.metrics.RunResult.to_dict` JSON.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -80,6 +85,10 @@ class ServiceClient:
         retries: Transport/5xx/429 retry budget per request.
         backoff: Initial exponential-backoff delay, seconds.
         sleep: Injection point for tests (defaults to :func:`time.sleep`).
+        jitter: Randomise every retry sleep (full jitter); disable for
+            exactly-reproducible retry timing.
+        rng: Injection point for tests (defaults to a private
+            :class:`random.Random`).
     """
 
     def __init__(
@@ -89,12 +98,16 @@ class ServiceClient:
         retries: int = 5,
         backoff: float = 0.2,
         sleep=time.sleep,
+        jitter: bool = True,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.jitter = jitter
         self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
 
     # ------------------------------------------------------------------
     def _request(
@@ -116,19 +129,23 @@ class ServiceClient:
             except urllib.error.HTTPError as error:
                 detail = self._error_message(error)
                 if error.code == 429 and attempt < self.retries:
-                    self._sleep(self._retry_after(error, delay))
+                    hint = self._retry_after(error, delay)
+                    # Equal jitter: honour at least half the server's
+                    # figure so admission control still works, but
+                    # decorrelate the herd it just turned away.
+                    self._sleep(self._jittered(hint, floor=hint / 2))
                     delay = min(delay * 2, MAX_BACKOFF_S)
                     continue
                 if error.code >= 500 and attempt < self.retries:
                     last_error = f"HTTP {error.code}: {detail}"
-                    self._sleep(delay)
+                    self._sleep(self._jittered(delay))
                     delay = min(delay * 2, MAX_BACKOFF_S)
                     continue
                 raise ServiceError(error.code, detail) from None
             except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
                 last_error = str(getattr(error, "reason", error))
                 if attempt < self.retries:
-                    self._sleep(delay)
+                    self._sleep(self._jittered(delay))
                     delay = min(delay * 2, MAX_BACKOFF_S)
                     continue
         raise ServiceUnavailable(
@@ -142,6 +159,16 @@ class ServiceClient:
             return str(payload.get("error", payload))
         except (ValueError, UnicodeDecodeError, OSError):
             return error.reason or f"status {error.code}"
+
+    def _jittered(self, delay: float, floor: float = 0.01) -> float:
+        """Full-jitter sleep: uniform over ``[floor, delay]``.
+
+        With ``jitter=False`` the nominal delay is returned unchanged
+        (deterministic timing for tests and debugging).
+        """
+        if not self.jitter or delay <= floor:
+            return delay
+        return self._rng.uniform(floor, delay)
 
     @staticmethod
     def _retry_after(error: urllib.error.HTTPError, fallback: float) -> float:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -73,8 +74,16 @@ class JobJournal:
         os.fsync(self._handle.fileno())
 
     def record_submit(self, job: Job) -> None:
-        """WAL a job before its admission is acknowledged."""
-        self._append({"v": 1, "event": "submit", "job": job.to_dict()})
+        """WAL a job before its admission is acknowledged.
+
+        The wall-clock ``t`` lets a session recorder reconstruct the
+        original inter-arrival gaps; replay ignores it (and compaction
+        drops it — recorders must tolerate its absence).
+        """
+        self._append(
+            {"v": 1, "event": "submit", "t": round(time.time(), 6),
+             "job": job.to_dict()}
+        )
 
     def record_finish(self, job: Job) -> None:
         """WAL a terminal transition (done/failed/cancelled)."""

@@ -452,6 +452,20 @@ class JobBoard:
         with self._lock:
             return sum(1 for unit in self._units.values() if unit.status == "pending")
 
+    def priority_depths(self) -> Dict[int, int]:
+        """Live-job count per priority level (highest priority first).
+
+        The per-priority breakdown of :meth:`depth`: a load generator
+        (or an operator) can see whether a deep queue is bulk
+        background work or high-priority traffic actually backing up.
+        """
+        with self._lock:
+            depths: Dict[int, int] = {}
+            for job in self._jobs.values():
+                if job.status not in TERMINAL_STATES:
+                    depths[job.priority] = depths.get(job.priority, 0) + 1
+            return dict(sorted(depths.items(), key=lambda item: -item[0]))
+
     def result_payload(self, key: str) -> Optional[Dict[str, Any]]:
         """A completed unit's result dict, from the LRU or the store.
 

@@ -15,8 +15,10 @@ DELETE   ``/v1/jobs/<id>``          Alias for cancel
 GET      ``/v1/results/<key>``      One result by canonical cache key
 GET      ``/v1/policies``           The policy registry
 GET      ``/healthz``               Liveness (503 while draining)
-GET      ``/metrics``               Queue depth, cache/coalesce rate,
-                                    jobs/sec, p50/p95 job latency
+GET      ``/metrics``               Queue depth (total and per priority),
+                                    cache/coalesce rate, jobs/sec,
+                                    rolling 429 rate, p50/p95 job latency
+GET      ``/v1/metrics``            Alias for ``/metrics``
 =======  =========================  ===========================================
 
 Error mapping: malformed JSON or structure → 400; unknown
@@ -263,7 +265,7 @@ class ServiceServer:
                 "uptime_s": self.telemetry.snapshot()["uptime_s"],
                 "queue_depth": self.board.depth(),
             }, {}
-        if path == "/metrics":
+        if path in ("/metrics", "/v1/metrics"):
             return 200, self._metrics(), {}
         if path == "/v1/policies":
             return 200, {"policies": policies_payload()}, {}
@@ -323,7 +325,7 @@ class ServiceServer:
         try:
             receipt = self.board.submit(job)
         except QueueFull as error:
-            self.telemetry.bump("jobs_rejected")
+            self.telemetry.observe_rejection()
             self._void_journal_entry(job, "queue full")
             return 429, {"error": str(error)}, {
                 "Retry-After": str(int(max(1, error.retry_after)))
@@ -365,6 +367,10 @@ class ServiceServer:
         engine_stats = dict(self.engine.stats)
         lookups = sum(engine_stats.values())
         metrics["queue_depth"] = self.board.depth()
+        metrics["queue_depth_by_priority"] = {
+            str(priority): depth
+            for priority, depth in self.board.priority_depths().items()
+        }
         metrics["pending_units"] = self.board.pending_units()
         metrics["engine"] = engine_stats
         metrics["engine_cache_hit_rate"] = (

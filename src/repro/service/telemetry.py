@@ -57,11 +57,23 @@ class Telemetry:
         }
         self._job_latencies = deque(maxlen=latency_window)
         self._finish_times = deque(maxlen=4096)
+        self._rejection_times = deque(maxlen=4096)
 
     # ------------------------------------------------------------------
     def bump(self, counter: str, amount: int = 1) -> None:
         with self._lock:
             self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def observe_rejection(self) -> None:
+        """Record one 429 admission rejection (drives the rolling counter).
+
+        Load generators read the rolling figure to tell "the queue was
+        full a minute ago" from "the queue is full *now*"; the plain
+        ``jobs_rejected`` counter only ever grows.
+        """
+        with self._lock:
+            self.counters["jobs_rejected"] += 1
+            self._rejection_times.append(time.monotonic())
 
     def observe_job_finished(self, status: str, latency_s: Optional[float]) -> None:
         """Record one job reaching a terminal state."""
@@ -84,6 +96,9 @@ class Telemetry:
                 + self.counters["jobs_cancelled"]
             )
             recent = [t for t in self._finish_times if now - t <= _RATE_WINDOW_S]
+            rejected_recent = sum(
+                1 for t in self._rejection_times if now - t <= _RATE_WINDOW_S
+            )
             window = min(uptime, _RATE_WINDOW_S)
             requested = self.counters["units_requested"]
             served_without_pool = (
@@ -102,4 +117,6 @@ class Telemetry:
                 "coalesce_rate": (
                     round(served_without_pool / requested, 4) if requested else None
                 ),
+                "rejections_recent": rejected_recent,
+                "rejected_per_s_recent": round(rejected_recent / window, 4),
             }

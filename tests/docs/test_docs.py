@@ -27,7 +27,11 @@ _LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _PAGES = [REPO_ROOT / "README.md"] + sorted(DOCS_DIR.glob("*.md"))
 
 #: Documentation pages containing executable examples.
-_DOCTEST_PAGES = [DOCS_DIR / "quickstart.md", DOCS_DIR / "service.md"]
+_DOCTEST_PAGES = [
+    DOCS_DIR / "quickstart.md",
+    DOCS_DIR / "service.md",
+    DOCS_DIR / "loadgen.md",
+]
 
 
 def _relative_links(page: Path):
@@ -47,6 +51,7 @@ def test_docs_directory_is_populated() -> None:
         "quickstart.md",
         "performance.md",
         "service.md",
+        "loadgen.md",
     } <= names
 
 

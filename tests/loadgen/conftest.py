@@ -1,0 +1,27 @@
+"""Shared fixtures for the loadgen suite: one live server, small jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.server import ServiceServer
+from repro.sim.engine import SimEngine
+
+#: Small enough that a unit executes in a few ms on the fast path.
+INSTRUCTIONS = 1500
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    """One in-process server over real HTTP, shared per test module."""
+    server = ServiceServer(engine=SimEngine(fast=True)).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def local_engine():
+    """A local engine for byte-identity verification (LRU shared)."""
+    engine = SimEngine(fast=True)
+    yield engine
+    engine.close()

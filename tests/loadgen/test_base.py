@@ -1,0 +1,95 @@
+"""Rate schedules and arrival processes: parsing, shape, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.base import (
+    ConstantRate,
+    DeterministicArrivals,
+    DiurnalRate,
+    PhasedRate,
+    PoissonArrivals,
+    Request,
+    parse_rate_schedule,
+    take_requests,
+)
+
+
+class TestParseRateSchedule:
+    def test_plain_number_is_constant(self):
+        schedule = parse_rate_schedule("25")
+        assert isinstance(schedule, ConstantRate)
+        assert schedule.rate(0.0) == schedule.rate(99.0) == 25.0
+        assert schedule.mean_rate(10.0) == pytest.approx(25.0)
+
+    def test_phases_cycle_through_their_rates(self):
+        schedule = parse_rate_schedule("phases:10+80@5")
+        assert isinstance(schedule, PhasedRate)
+        assert schedule.rate(0.0) == 10.0
+        assert schedule.rate(6.0) == 80.0
+        assert schedule.rate(11.0) == 10.0  # cycles
+        assert schedule.max_rate() == 80.0
+        assert schedule.mean_rate(10.0) == pytest.approx(45.0)
+
+    def test_diurnal_wave_spans_low_to_high(self):
+        schedule = parse_rate_schedule("diurnal:5+40@60")
+        assert isinstance(schedule, DiurnalRate)
+        assert schedule.rate(0.0) == pytest.approx(5.0)
+        assert schedule.rate(30.0) == pytest.approx(40.0)  # peak at half period
+        assert schedule.rate(60.0) == pytest.approx(5.0)
+        assert schedule.max_rate() == 40.0
+
+    @pytest.mark.parametrize("spec", [
+        "", "fast", "-3", "0", "phases:10", "phases:10+x@5",
+        "diurnal:5@60", "diurnal:5+40+90@60", "sine:1+2@3",
+    ])
+    def test_malformed_specs_raise_value_error(self, spec):
+        with pytest.raises(ValueError):
+            parse_rate_schedule(spec)
+
+
+class TestArrivals:
+    def test_poisson_is_reproducible_for_a_seed(self):
+        schedule = parse_rate_schedule("20")
+        first = list(PoissonArrivals(schedule, seed=7).arrivals(5.0))
+        second = list(PoissonArrivals(schedule, seed=7).arrivals(5.0))
+        assert first == second
+        assert list(PoissonArrivals(schedule, seed=8).arrivals(5.0)) != first
+
+    def test_poisson_rate_is_roughly_honoured(self):
+        arrivals = list(PoissonArrivals(parse_rate_schedule("50"), seed=1).arrivals(20.0))
+        # 1000 expected; 5 sigma is ~160.
+        assert 800 <= len(arrivals) <= 1200
+        assert all(0.0 <= t < 20.0 for t in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_poisson_thinning_follows_a_phased_schedule(self):
+        schedule = parse_rate_schedule("phases:5+50@5")
+        arrivals = list(PoissonArrivals(schedule, seed=3).arrivals(10.0))
+        slow = sum(1 for t in arrivals if t < 5.0)
+        fast = sum(1 for t in arrivals if t >= 5.0)
+        # The burst phase is 10x the quiet phase.
+        assert fast > 4 * max(slow, 1)
+
+    def test_deterministic_paces_at_the_instantaneous_rate(self):
+        arrivals = list(DeterministicArrivals(parse_rate_schedule("10")).arrivals(2.0))
+        assert len(arrivals) == 19  # 0.1, 0.2, ... 1.9
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(gap == pytest.approx(0.1) for gap in gaps)
+
+
+class TestTakeRequests:
+    def test_cuts_an_infinite_stream_at_the_horizon(self):
+        class Infinite:
+            def requests(self):
+                t = 0.0
+                while True:
+                    yield Request(at_s=t, payload={"n": t})
+                    t += 0.25
+
+            def describe(self):
+                return "infinite"
+
+        taken = take_requests(Infinite(), 1.0)
+        assert [r.at_s for r in taken] == [0.0, 0.25, 0.5, 0.75]

@@ -1,0 +1,132 @@
+"""The ``repro loadgen`` CLI: flags, JSON shapes, exit-status gates."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen.cli import main
+from repro.loadgen.replay import read_session
+
+
+def run_main(capsys, *argv):
+    status = main(list(argv))
+    return status, capsys.readouterr().out
+
+
+class TestSingleRun:
+    def test_open_loop_json_report(self, live_server, capsys, tmp_path):
+        output = tmp_path / "run.json"
+        status, out = run_main(
+            capsys, "--server", live_server.url, "--rate", "12",
+            "--duration", "1.0", "--instructions", "1500", "--seed", "5",
+            "--verify", "2", "--json", "--output", str(output),
+        )
+        assert status == 0
+        payload = json.loads(out)
+        assert payload["kind"] == "repro-loadgen/run"
+        assert payload["mode"] == "open"
+        assert payload["completed"] == payload["offered"] > 0
+        assert payload["identity"] == {"checked": 2, "ok": True}
+        assert json.loads(output.read_text()) == payload
+
+    def test_closed_loop_mode(self, live_server, capsys):
+        status, out = run_main(
+            capsys, "--server", live_server.url, "--mode", "closed",
+            "--clients", "2", "--duration", "0.6", "--instructions", "1500",
+            "--verify", "0", "--json",
+        )
+        assert status == 0
+        payload = json.loads(out)
+        assert payload["mode"] == "closed"
+        assert payload["identity"] == {"checked": 0, "ok": None}
+
+    def test_record_then_replay_round_trip(self, live_server, capsys, tmp_path):
+        session = tmp_path / "session.jsonl"
+        status, _ = run_main(
+            capsys, "--server", live_server.url, "--rate", "10",
+            "--duration", "1.0", "--instructions", "1500",
+            "--record", str(session), "--verify", "0", "--json",
+        )
+        assert status == 0
+        recorded = len(read_session(session))
+        status, out = run_main(
+            capsys, "--server", live_server.url, "--replay", str(session),
+            "--speed", "4", "--duration", "10", "--verify", "1", "--json",
+        )
+        assert status == 0
+        payload = json.loads(out)
+        assert payload["offered"] == recorded
+        assert payload["identity"]["ok"] is True
+
+
+class TestSweep:
+    def test_sweep_emits_one_point_per_rate(self, live_server, capsys):
+        status, out = run_main(
+            capsys, "--server", live_server.url, "--sweep", "4,8,16,24",
+            "--duration", "0.6", "--instructions", "1500", "--verify", "1",
+            "--json",
+        )
+        assert status == 0
+        payload = json.loads(out)
+        assert payload["kind"] == "repro-loadgen/sweep"
+        assert len(payload["points"]) == 4
+        assert all(p["identity"]["ok"] for p in payload["points"])
+
+    def test_sweep_needs_two_rates(self, live_server, capsys):
+        status, out = run_main(
+            capsys, "--server", live_server.url, "--sweep", "10",
+            "--duration", "0.5",
+        )
+        assert status == 2
+        assert "at least two" in out
+
+
+class TestGates:
+    def test_min_achieved_ratio_gate_trips_exit_4(self, live_server, capsys):
+        # A ratio above 1.0 is unattainable by construction, so the
+        # gate must trip regardless of how the service performs.
+        status, out = run_main(
+            capsys, "--server", live_server.url, "--rate", "8",
+            "--duration", "0.6", "--instructions", "1500", "--verify", "0",
+            "--min-achieved-ratio", "1.1",
+        )
+        assert status == 4
+        assert "min-achieved-ratio" in out
+
+    @pytest.mark.parametrize("argv", [
+        ("--rate", "10"),                       # no --server
+        ("--server", "http://x", "--duration", "0"),
+        ("--server", "http://x", "--clients", "0"),
+        ("--server", "http://x", "--rate", "bogus"),
+        ("--record-from-journal", "x.wal"),     # no --record
+    ])
+    def test_bad_usage_exits_2(self, capsys, argv):
+        status, _ = run_main(capsys, *argv)
+        assert status == 2
+
+
+class TestJournalConversion:
+    def test_record_from_journal_needs_no_server(self, capsys, tmp_path):
+        from repro.service.jobs import parse_job_payload
+        from repro.service.journal import JobJournal
+        from repro.sim.config import SimulationConfig
+
+        wal = tmp_path / "jobs.wal"
+        journal = JobJournal(wal)
+        config = SimulationConfig(
+            benchmark="gcc", dcache="gated", icache="gated",
+            n_instructions=1500,
+        )
+        journal.record_submit(
+            parse_job_payload({"kind": "run", "config": config.to_dict()})
+        )
+        journal.close()
+        session = tmp_path / "session.jsonl"
+        status, out = run_main(
+            capsys, "--record-from-journal", str(wal), "--record", str(session),
+        )
+        assert status == 0
+        assert "recorded 1 request" in out
+        assert len(read_session(session)) == 1

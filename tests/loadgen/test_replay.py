@@ -1,0 +1,153 @@
+"""Session files: round-trips, speed, and the journal-derived recorder."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.loadgen.base import PoissonArrivals, parse_rate_schedule, take_requests
+from repro.loadgen.replay import (
+    ReplayEngine,
+    read_session,
+    record_from_journal,
+    write_session,
+)
+from repro.loadgen.synthetic import MixEngine, parse_mix
+from repro.service.jobs import parse_job_payload
+from repro.service.journal import JobJournal
+from repro.sim.config import SimulationConfig
+
+
+def _synthetic_requests(duration=2.0, seed=5):
+    engine = MixEngine(
+        parse_mix("gcc/gated,art/gated", instructions=1500),
+        PoissonArrivals(parse_rate_schedule("15"), seed=seed),
+        seed=seed,
+    )
+    return take_requests(engine, duration)
+
+
+class TestSessionFiles:
+    def test_round_trip_preserves_payloads_and_gaps(self, tmp_path):
+        requests = _synthetic_requests()
+        path = tmp_path / "session.jsonl"
+        assert write_session(path, requests, source="test") == len(requests)
+        loaded = read_session(path)
+        assert len(loaded) == len(requests)
+        assert [r.payload for r in loaded] == [r.payload for r in requests]
+        # Offsets are re-based to the first request but keep their gaps.
+        gaps = [b.at_s - a.at_s for a, b in zip(requests, requests[1:])]
+        loaded_gaps = [b.at_s - a.at_s for a, b in zip(loaded, loaded[1:])]
+        assert loaded_gaps == pytest.approx(gaps, abs=1e-5)
+        assert loaded[0].at_s == 0.0
+
+    def test_read_session_strips_client_pinned_ids(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        path.write_text(
+            json.dumps({"v": 1, "kind": "repro-loadgen/session"}) + "\n"
+            + json.dumps({"at_s": 0.0, "payload": {"kind": "run", "id": "x",
+                                                   "config": {}}}) + "\n"
+        )
+        (request,) = read_session(path)
+        assert "id" not in request.payload
+
+    def test_rejects_files_without_the_session_header(self, tmp_path):
+        path = tmp_path / "notasession.jsonl"
+        path.write_text('{"at_s": 0.0, "payload": {}}\n')
+        with pytest.raises(ValueError, match="session"):
+            read_session(path)
+
+    def test_rejects_malformed_lines_with_their_line_number(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps({"v": 1, "kind": "repro-loadgen/session"}) + "\n"
+            + '{"at_s": "not-a-float-or-missing-payload"}\n'
+        )
+        with pytest.raises(ValueError, match=":2"):
+            read_session(path)
+
+    def test_missing_file_is_a_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            read_session(tmp_path / "absent.jsonl")
+
+
+class TestReplayEngine:
+    def test_speed_multiplier_scales_every_offset(self, tmp_path):
+        requests = _synthetic_requests()
+        path = tmp_path / "session.jsonl"
+        write_session(path, requests)
+        normal = list(ReplayEngine(path, speed=1.0).requests())
+        double = list(ReplayEngine(path, speed=2.0).requests())
+        assert [r.at_s for r in double] == pytest.approx(
+            [r.at_s / 2 for r in normal]
+        )
+        assert [r.payload for r in double] == [r.payload for r in normal]
+
+    def test_bad_speed_rejected(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        write_session(path, _synthetic_requests())
+        with pytest.raises(ValueError, match="speed"):
+            ReplayEngine(path, speed=0.0)
+
+
+class TestJournalRecorder:
+    def _journal_with_submits(self, tmp_path, gap_s=0.04):
+        path = tmp_path / "jobs.wal"
+        journal = JobJournal(path)
+        for benchmark in ("gcc", "art"):
+            config = SimulationConfig(
+                benchmark=benchmark, dcache="gated", icache="gated",
+                n_instructions=1500,
+            )
+            journal.record_submit(
+                parse_job_payload({"kind": "run", "config": config.to_dict()})
+            )
+            time.sleep(gap_s)
+        # A sweep job, to prove the recorder re-folds expanded configs.
+        config = SimulationConfig(
+            benchmark="gcc", dcache="gated", icache="gated",
+            n_instructions=1500,
+        )
+        journal.record_submit(parse_job_payload({
+            "kind": "sweep", "config": config.to_dict(),
+            "benchmarks": ["gcc", "art"],
+        }))
+        journal.close()
+        return path
+
+    def test_recorder_preserves_gaps_and_refolds_sweeps(self, tmp_path):
+        wal = self._journal_with_submits(tmp_path)
+        out = tmp_path / "session.jsonl"
+        assert record_from_journal(wal, out) == 3
+        requests = read_session(out)
+        assert requests[0].at_s == 0.0
+        # The wall-clock gap between submits survives the round trip.
+        assert requests[1].at_s >= 0.02
+        assert requests[2].payload["kind"] == "sweep"
+        assert requests[2].payload["benchmarks"] == ["gcc", "art"]
+        # Every rebuilt payload is a valid submission body.
+        for request in requests:
+            parse_job_payload(request.payload)
+
+    def test_submits_without_timestamps_use_the_default_gap(self, tmp_path):
+        wal = tmp_path / "old.wal"
+        config = SimulationConfig(
+            benchmark="gcc", dcache="gated", icache="gated",
+            n_instructions=1500,
+        )
+        job = parse_job_payload({"kind": "run", "config": config.to_dict()})
+        # A journal written before submit events carried timestamps.
+        line = json.dumps({"v": 1, "event": "submit", "job": job.to_dict()})
+        wal.write_text(line + "\n" + line.replace(job.id, job.id + "b") + "\n")
+        out = tmp_path / "session.jsonl"
+        assert record_from_journal(wal, out, default_gap_s=0.5) == 2
+        requests = read_session(out)
+        assert requests[1].at_s == pytest.approx(0.5)
+
+    def test_journal_without_submits_is_a_value_error(self, tmp_path):
+        wal = tmp_path / "empty.wal"
+        wal.write_text('{"v": 1, "event": "done", "id": "j1"}\n')
+        with pytest.raises(ValueError, match="no submit events"):
+            record_from_journal(wal, tmp_path / "out.jsonl")

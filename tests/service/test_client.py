@@ -1,8 +1,9 @@
-"""Client retry discipline: Retry-After on 429, backoff on 5xx/transport."""
+"""Client retry discipline: Retry-After on 429, jittered backoff on 5xx."""
 
 from __future__ import annotations
 
 import json
+import random
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -63,9 +64,25 @@ class TestRetryDiscipline:
             (429, {"Retry-After": "3"}, {"error": "queue full"}),
             (200, {}, {"ok": True}),
         ]
-        client = ServiceClient(url, retries=2, backoff=0.01, sleep=sleeps.append)
+        client = ServiceClient(
+            url, retries=2, backoff=0.01, sleep=sleeps.append, jitter=False
+        )
         assert client._request("GET", "/anything") == {"ok": True}
         assert sleeps == [3.0]
+
+    def test_429_jitter_keeps_at_least_half_the_retry_after(self, scripted):
+        # Equal jitter: the server's admission hint stays meaningful
+        # (floor ra/2) while the herd it turned away decorrelates.
+        _, url = scripted
+        sleeps = []
+        _ScriptedHandler.script = [
+            (429, {"Retry-After": "3"}, {"error": "queue full"}),
+            (200, {}, {"ok": True}),
+        ]
+        client = ServiceClient(url, retries=2, backoff=0.01, sleep=sleeps.append)
+        assert client._request("GET", "/anything") == {"ok": True}
+        assert len(sleeps) == 1
+        assert 1.5 <= sleeps[0] <= 3.0
 
     def test_429_exhausting_retries_raises_service_error(self, scripted):
         _, url = scripted
@@ -85,9 +102,50 @@ class TestRetryDiscipline:
             (500, {}, {"error": "transient"}),
             (200, {}, {"ok": True}),
         ]
-        client = ServiceClient(url, retries=3, backoff=0.1, sleep=sleeps.append)
+        client = ServiceClient(
+            url, retries=3, backoff=0.1, sleep=sleeps.append, jitter=False
+        )
         assert client._request("GET", "/anything") == {"ok": True}
         assert sleeps == [0.1, 0.2]
+
+    def test_5xx_jittered_backoff_stays_inside_the_nominal_window(self, scripted):
+        _, url = scripted
+        sleeps = []
+        _ScriptedHandler.script = [
+            (500, {}, {"error": "transient"}),
+            (500, {}, {"error": "transient"}),
+            (200, {}, {"ok": True}),
+        ]
+        client = ServiceClient(url, retries=3, backoff=0.1, sleep=sleeps.append)
+        assert client._request("GET", "/anything") == {"ok": True}
+        # Full jitter: each sleep is a uniform draw over (floor, nominal].
+        assert len(sleeps) == 2
+        assert 0.0 < sleeps[0] <= 0.1
+        assert 0.0 < sleeps[1] <= 0.2
+
+    def test_jitter_decorrelates_a_thundering_herd(self, scripted):
+        # A fleet of clients rejected at the same instant must not come
+        # back at the same instant: with jitter their first retry sleeps
+        # spread out instead of all landing on the Retry-After figure.
+        _, url = scripted
+        herd_sleeps = []
+        for seed in range(12):
+            sleeps = []
+            _ScriptedHandler.script = [
+                (429, {"Retry-After": "2"}, {"error": "queue full"}),
+                (200, {}, {"ok": True}),
+            ]
+            client = ServiceClient(
+                url, retries=1, backoff=0.01, sleep=sleeps.append,
+                rng=random.Random(seed),
+            )
+            assert client._request("GET", "/anything") == {"ok": True}
+            herd_sleeps.append(sleeps[0])
+        # Everyone honours at least half the server's hint...
+        assert all(1.0 <= s <= 2.0 for s in herd_sleeps)
+        # ...but the herd is spread, not synchronised on one instant.
+        assert len({round(s, 3) for s in herd_sleeps}) > 6
+        assert max(herd_sleeps) - min(herd_sleeps) > 0.1
 
     def test_4xx_never_retries(self, scripted):
         _, url = scripted

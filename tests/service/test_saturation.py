@@ -1,0 +1,143 @@
+"""Saturation behaviour: admission under overload, recovery after a burst.
+
+The queue-full tests use an *unstarted* :class:`ServiceServer`: with no
+scheduler popping the board, submitted jobs stay queued, so a tiny
+``queue_limit`` saturates deterministically without slow jobs or
+timing.  ``dispatch()`` works without the HTTP thread.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen.base import PoissonArrivals, parse_rate_schedule
+from repro.loadgen.runner import LoadRunner
+from repro.loadgen.synthetic import MixEngine, parse_mix
+from repro.service.server import ServiceServer
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimEngine
+
+
+def _run_payload(instructions=1500, benchmark="gcc", priority=0):
+    config = SimulationConfig(
+        benchmark=benchmark, dcache="gated", icache="gated",
+        n_instructions=instructions,
+    )
+    payload = {"kind": "run", "config": config.to_dict()}
+    if priority:
+        payload["priority"] = priority
+    return json.dumps(payload).encode()
+
+
+def _submit(server, body):
+    return server.dispatch("POST", "/v1/jobs", body)
+
+
+@pytest.fixture()
+def tiny_queue():
+    """An unstarted server whose board fills after two live jobs."""
+    server = ServiceServer(engine=SimEngine(fast=True), queue_limit=2)
+    yield server
+    # The server was never start()ed (no HTTP thread, no scheduler), so
+    # a graceful stop() would block on the idle HTTP loop; release the
+    # socket and the worker pool directly.
+    server._httpd.server_close()
+    server.engine.terminate()
+
+
+class TestQueueFullUnderOverload:
+    def test_sustained_overload_is_429_with_sensible_retry_after(self, tiny_queue):
+        # Distinct instruction counts keep the units distinct (no
+        # coalescing), so two submissions fill the queue exactly.
+        for i in range(2):
+            status, _, _ = _submit(tiny_queue, _run_payload(1500 + i))
+            assert status == 202
+        for i in range(5):  # sustained pressure, every extra submission
+            status, payload, headers = _submit(tiny_queue, _run_payload(2000 + i))
+            assert status == 429
+            assert "full" in payload["error"]
+            retry_after = int(headers["Retry-After"])
+            assert 1 <= retry_after <= 60
+
+    def test_cancel_frees_a_slot_and_admission_recovers(self, tiny_queue):
+        receipts = []
+        for i in range(2):
+            status, receipt, _ = _submit(tiny_queue, _run_payload(1500 + i))
+            assert status == 202
+            receipts.append(receipt)
+        status, _, _ = _submit(tiny_queue, _run_payload(3000))
+        assert status == 429
+        tiny_queue.board.cancel(receipts[0]["id"])
+        status, _, _ = _submit(tiny_queue, _run_payload(3000))
+        assert status == 202
+
+    def test_rolling_rejection_counter_tracks_recent_429s(self, tiny_queue):
+        for i in range(2):
+            _submit(tiny_queue, _run_payload(1500 + i))
+        for i in range(3):
+            status, _, _ = _submit(tiny_queue, _run_payload(2000 + i))
+            assert status == 429
+        status, metrics, _ = tiny_queue.dispatch("GET", "/metrics", None)
+        assert status == 200
+        assert metrics["counters"]["jobs_rejected"] == 3
+        assert metrics["rejections_recent"] == 3
+        assert metrics["rejected_per_s_recent"] > 0
+
+    def test_v1_metrics_alias_serves_the_same_document(self, tiny_queue):
+        status, via_alias, _ = tiny_queue.dispatch("GET", "/v1/metrics", None)
+        assert status == 200
+        assert "queue_depth" in via_alias and "counters" in via_alias
+
+    def test_per_priority_queue_depths(self, tiny_queue):
+        status, _, _ = _submit(tiny_queue, _run_payload(1500, priority=5))
+        assert status == 202
+        status, _, _ = _submit(tiny_queue, _run_payload(1501))
+        assert status == 202
+        status, metrics, _ = tiny_queue.dispatch("GET", "/v1/metrics", None)
+        assert metrics["queue_depth"] == 2
+        assert metrics["queue_depth_by_priority"] == {"5": 1, "0": 1}
+
+
+class TestBurstRecovery:
+    def test_p95_recovers_after_a_burst(self):
+        """After a saturating burst drains, fresh latencies drop back."""
+        server = ServiceServer(engine=SimEngine(fast=True, workers=1)).start()
+        try:
+            runner = LoadRunner(server.url)
+            # Burst: distinct heavyweight configs at a rate one worker
+            # cannot absorb, so the queue (and p95) builds up.
+            burst_mix = parse_mix(
+                ",".join(f"gcc/gated:threshold={100 + 10 * i}" for i in range(8)),
+                instructions=6000,
+            )
+            burst = runner.open_loop(
+                MixEngine(
+                    burst_mix,
+                    PoissonArrivals(parse_rate_schedule("30"), seed=1),
+                    seed=1,
+                ),
+                duration=1.0,
+            )
+            assert burst.completed > 0
+            burst_p95 = burst.latency(0.95)
+            # open_loop joined every in-flight request: the queue has
+            # drained.  Fresh, distinct work must be fast again.
+            calm_mix = parse_mix(
+                "art/gated:threshold=120,art/gated:threshold=130",
+                instructions=1500,
+            )
+            calm = runner.open_loop(
+                MixEngine(
+                    calm_mix,
+                    PoissonArrivals(parse_rate_schedule("6"), seed=2),
+                    seed=2,
+                ),
+                duration=1.0,
+            )
+            assert calm.completed == calm.offered > 0
+            calm_p95 = calm.latency(0.95)
+            assert calm_p95 < burst_p95
+        finally:
+            server.stop()

@@ -229,7 +229,7 @@ class TestBenchCommand:
         )
         assert status == 0
         payload = json.loads(output.read_text())
-        assert payload["schema"] == "repro-bench/pr5"
+        assert payload["schema"] == "repro-bench/pr6"
         assert payload["summary"]["all_identical"] is True
         assert payload["sweep_benchmarks"]["speedup"] > 0
         assert len(payload["l2_grid"]) == 5  # one benchmark x five L2 policies
