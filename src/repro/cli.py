@@ -14,6 +14,9 @@ Reproduce the paper from a shell::
     python -m repro bench --smoke --output BENCH_smoke.json
     python -m repro trace record --benchmark gcc --out gcc.trace.gz
     python -m repro run --benchmark trace:gcc.trace.gz
+    python -m repro run --benchmark "mix:(phases:gcc+mcf@5000)*2+vortex@800"
+    python -m repro run --benchmark fuzz:17 --fast
+    python -m repro fuzz --budget 50 --seed-base 0 --report fuzz.json
     python -m repro regen-goldens
     python -m repro serve --port 8023 --workers 4 --fast --store runs/ --journal jobs.wal
     python -m repro submit --server http://127.0.0.1:8023 --benchmarks gcc,art --dcache gated
@@ -265,6 +268,58 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("path", help="trace file to inspect")
     info.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON on stdout"
+    )
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help=(
+            "differentially fuzz the fast path against the reference "
+            "kernel on seeded random scenarios"
+        ),
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=25,
+        help="number of seeded scenarios to run (default: 25)",
+    )
+    fuzz.add_argument(
+        "--seed-base",
+        type=int,
+        default=0,
+        help="first fuzz seed; scenarios use seed-base..seed-base+budget-1 "
+        "(default: 0)",
+    )
+    fuzz.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="max nesting depth of generated scenarios (default: 3)",
+    )
+    fuzz.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="micro-ops per differential run (default: 2000)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=1, help="workload seed (default: 1)"
+    )
+    fuzz.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the JSON campaign report to PATH",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="write minimized reproducers of any mismatch into DIR "
+        "(default: tests/fuzz_corpus when it exists, else disabled)",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", help="emit the JSON report on stdout"
     )
 
     loadgen = subparsers.add_parser(
@@ -523,6 +578,66 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import (
+        DEFAULT_FUZZ_INSTRUCTIONS,
+        DEFAULT_CORPUS_DIR,
+        run_campaign,
+    )
+    from repro.workloads.fuzzgen import DEFAULT_FUZZ_DEPTH, MAX_FUZZ_DEPTH
+
+    if args.budget < 1:
+        raise ValueError("--budget must be positive")
+    if args.seed_base < 0:
+        raise ValueError("--seed-base must be non-negative")
+    depth = DEFAULT_FUZZ_DEPTH if args.depth is None else args.depth
+    if not 1 <= depth <= MAX_FUZZ_DEPTH:
+        raise ValueError(f"--depth must be between 1 and {MAX_FUZZ_DEPTH}")
+    if args.corpus is not None:
+        corpus_dir: Optional[Path] = Path(args.corpus)
+    elif DEFAULT_CORPUS_DIR.is_dir():
+        corpus_dir = DEFAULT_CORPUS_DIR
+    else:
+        corpus_dir = None
+
+    def progress(result) -> None:
+        if args.json:
+            return
+        status = "ok" if result.matched else "MISMATCH"
+        line = f"{result.name:16s} {status:8s} {result.canonical}"
+        if result.reproducer is not None:
+            line += f"\n{'':16s} minimized: {result.reproducer}"
+        if result.corpus_path is not None:
+            line += f"\n{'':16s} corpus:    {result.corpus_path}"
+        print(line, flush=True)
+
+    report = run_campaign(
+        budget=args.budget,
+        seed_base=args.seed_base,
+        depth=depth,
+        n_instructions=(
+            DEFAULT_FUZZ_INSTRUCTIONS
+            if args.instructions is None
+            else args.instructions
+        ),
+        workload_seed=args.seed,
+        corpus_dir=corpus_dir,
+        progress=progress,
+    )
+    if args.report is not None:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report))
+    else:
+        print(
+            f"fuzz: {report['budget']} scenario(s), "
+            f"{report['mismatches']} mismatch(es)"
+        )
+    return 1 if report["mismatches"] else 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.loadgen.cli import run_from_args as loadgen_run
 
@@ -677,6 +792,7 @@ _COMMANDS = {
     "policies": _cmd_policies,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "fuzz": _cmd_fuzz,
     "loadgen": _cmd_loadgen,
     "serve": _cmd_serve,
     "submit": _cmd_submit,

@@ -1,0 +1,316 @@
+"""Seeded differential fuzzing of the two simulation kernels.
+
+The repo's core correctness invariant — ``execute_run_fast(config)``
+bit-identical to ``execute_run(config)`` — is pinned by a hand-written
+differential grid.  This module turns it into a fuzzing gate: sample
+scenario expressions from the grammar (``fuzz:SEED`` names), run each
+through both kernels under precharge-heavy policies, and compare
+``RunResult.to_dict()`` payloads exactly.  On a mismatch the offending
+AST is *shrunk* to a minimal reproducer and written to the committed
+regression corpus (``tests/fuzz_corpus/``), which tier-1 replays
+forever (``tests/sim/test_fuzz_corpus.py``).
+
+Drive it from the shell (CI runs exactly this)::
+
+    python -m repro fuzz --budget 50 --seed-base 0 --report fuzz.json
+
+Exit status is 1 on any mismatch, 0 on a clean campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .core.registry import PolicySpec
+from .sim.config import SimulationConfig
+from .sim.engine import execute_run, execute_run_fast
+from .workloads.fuzzgen import DEFAULT_FUZZ_DEPTH, generate_scenario
+from .workloads.grammar import (
+    Bench,
+    Group,
+    Node,
+    default_quantum,
+    iter_leaves,
+    unparse,
+)
+
+__all__ = [
+    "DEFAULT_FUZZ_INSTRUCTIONS",
+    "FuzzResult",
+    "fuzz_config",
+    "load_corpus",
+    "run_campaign",
+    "run_differential",
+    "shrink_scenario",
+    "write_corpus_entry",
+]
+
+#: Instructions per differential run.  Equivalence is binary, not
+#: asymptotic; this is long enough to cross several context-switch
+#: quanta of every generated scenario (quantum palette tops out at
+#: 1500) while keeping a 50-scenario campaign in CI-friendly time.
+DEFAULT_FUZZ_INSTRUCTIONS = 2000
+
+#: Default committed-reproducer directory, relative to the repo root.
+DEFAULT_CORPUS_DIR = Path("tests") / "fuzz_corpus"
+
+
+def fuzz_config(
+    benchmark: str,
+    n_instructions: int = DEFAULT_FUZZ_INSTRUCTIONS,
+    seed: int = 1,
+) -> SimulationConfig:
+    """The configuration fuzz runs use: every cache level precharge-gated.
+
+    Gated policies at both L1s *and* the L2 maximise the surface where
+    the kernels could diverge (precharge penalties folded into miss
+    latencies, subarray activation bookkeeping, L2 writeback traffic).
+    """
+    return SimulationConfig(
+        benchmark=benchmark,
+        dcache="gated",
+        icache="gated",
+        l2=PolicySpec("gated", {"threshold": 500}),
+        n_instructions=n_instructions,
+        seed=seed,
+    )
+
+
+def _outcome(execute: Callable[[SimulationConfig], object], config: SimulationConfig):
+    # Both kernels raising the same error (e.g. the livelock bound) is
+    # agreement too; one raising while the other returns is a mismatch.
+    try:
+        return ("ok", execute(config).to_dict())
+    except Exception as error:  # pragma: no cover - only on kernel bugs
+        return ("error", f"{type(error).__name__}: {error}")
+
+
+def run_differential(config: SimulationConfig) -> bool:
+    """``True`` when both kernels agree bit-for-bit on ``config``."""
+    return _outcome(execute_run, config) == _outcome(execute_run_fast, config)
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+
+
+def _node_simplifications(node: Node) -> Iterator[Node]:
+    """Strictly simpler variants of one term, most aggressive first."""
+    if isinstance(node, Group):
+        # Collapse the whole subtree to its first benchmark leaf.
+        first = next(iter_leaves(node))
+        yield Bench(name=first.name)
+        # Simplify the subtree, keeping this term's own modifiers.
+        for simpler in _group_simplifications(
+            replace(node, weight=1, scale=1.0, slab=None)
+        ):
+            yield replace(
+                simpler, weight=node.weight, scale=node.scale, slab=node.slab
+            )
+    if node.weight != 1:
+        yield replace(node, weight=1)
+    if node.scale != 1.0:
+        yield replace(node, scale=1.0)
+    if node.slab is not None:
+        yield replace(node, slab=None)
+
+
+def _group_simplifications(root: Group) -> Iterator[Group]:
+    """Strictly simpler variants of a whole expression."""
+    # Promote a nested scenario to the root.
+    for child in root.children:
+        if isinstance(child, Group):
+            yield replace(child, weight=1, scale=1.0, slab=None)
+    # Drop a child (lists need at least two terms).
+    if len(root.children) > 2:
+        for index in range(len(root.children)):
+            yield replace(
+                root,
+                children=root.children[:index] + root.children[index + 1 :],
+            )
+    # Simplify one child in place.
+    for index, child in enumerate(root.children):
+        for simpler in _node_simplifications(child):
+            yield replace(
+                root,
+                children=root.children[:index]
+                + (simpler,)
+                + root.children[index + 1 :],
+            )
+    # Reset a non-default quantum.
+    if root.quantum != default_quantum(root.family):
+        yield replace(root, quantum=default_quantum(root.family))
+
+
+def shrink_scenario(
+    root: Group,
+    still_failing: Callable[[Group], bool],
+    max_attempts: int = 500,
+) -> Group:
+    """Greedily minimise a failing expression.
+
+    Repeatedly tries simpler variants (collapse subtrees, drop terms,
+    strip modifiers, reset quanta) and keeps the first that still
+    satisfies ``still_failing``, until no simplification reproduces or
+    ``max_attempts`` candidate evaluations are spent.  The predicate is
+    pluggable so the shrinker is testable without a real kernel bug.
+    """
+    current = root
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _group_simplifications(current):
+            attempts += 1
+            if still_failing(candidate):
+                current = candidate
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Corpus
+
+
+def corpus_filename(canonical: str) -> str:
+    """Stable content-addressed filename for one reproducer."""
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    return f"repro-{digest}.json"
+
+
+def write_corpus_entry(
+    corpus_dir: Path,
+    config: SimulationConfig,
+    origin: str,
+) -> Path:
+    """Persist a minimised reproducer for tier-1 to replay forever.
+
+    The entry is the full ``SimulationConfig.to_dict()`` payload (so the
+    replay test rebuilds exactly the failing configuration) plus the
+    ``fuzz:`` name that found it, for archaeology.
+    """
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    entry = {"origin": origin, "config": config.to_dict()}
+    path = corpus_dir / corpus_filename(config.benchmark)
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir: Path) -> List[Tuple[str, SimulationConfig]]:
+    """Load every committed reproducer as ``(origin, config)`` pairs."""
+    corpus_dir = Path(corpus_dir)
+    entries: List[Tuple[str, SimulationConfig]] = []
+    if not corpus_dir.is_dir():
+        return entries
+    for path in sorted(corpus_dir.glob("*.json")):
+        data = json.loads(path.read_text())
+        entries.append(
+            (data.get("origin", path.name), SimulationConfig.from_dict(data["config"]))
+        )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Campaign
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzed scenario."""
+
+    name: str
+    canonical: str
+    matched: bool
+    reproducer: Optional[str] = None
+    corpus_path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "canonical": self.canonical,
+            "status": "match" if self.matched else "mismatch",
+        }
+        if self.reproducer is not None:
+            payload["reproducer"] = self.reproducer
+        if self.corpus_path is not None:
+            payload["corpus_path"] = self.corpus_path
+        return payload
+
+
+def run_campaign(
+    budget: int,
+    seed_base: int = 0,
+    depth: int = DEFAULT_FUZZ_DEPTH,
+    n_instructions: int = DEFAULT_FUZZ_INSTRUCTIONS,
+    workload_seed: int = 1,
+    corpus_dir: Optional[Path] = None,
+    progress: Optional[Callable[[FuzzResult], None]] = None,
+) -> Dict[str, object]:
+    """Run ``budget`` seeded scenarios through both kernels.
+
+    Seeds are ``seed_base .. seed_base + budget - 1``, so a fixed
+    ``--seed-base`` makes the campaign a regression gate and a rotating
+    one makes it an explorer.  Every mismatch is shrunk to a minimal
+    reproducer; with ``corpus_dir`` set it is also written there for
+    tier-1 to replay.  Returns a JSON-ready report.
+    """
+    if budget < 1:
+        raise ValueError("fuzz budget must be positive")
+    results: List[FuzzResult] = []
+    for index in range(budget):
+        fuzz_seed = seed_base + index
+        name = f"fuzz:{fuzz_seed}/{depth}"
+        root = generate_scenario(fuzz_seed, depth)
+        canonical = unparse(root)
+        config = fuzz_config(
+            name, n_instructions=n_instructions, seed=workload_seed
+        )
+        if run_differential(config):
+            result = FuzzResult(name=name, canonical=canonical, matched=True)
+        else:
+            def still_failing(candidate: Group) -> bool:
+                return not run_differential(
+                    fuzz_config(
+                        unparse(candidate),
+                        n_instructions=n_instructions,
+                        seed=workload_seed,
+                    )
+                )
+
+            minimal = shrink_scenario(root, still_failing)
+            reproducer = unparse(minimal)
+            result = FuzzResult(
+                name=name, canonical=canonical, matched=False, reproducer=reproducer
+            )
+            if corpus_dir is not None:
+                path = write_corpus_entry(
+                    corpus_dir,
+                    fuzz_config(
+                        reproducer,
+                        n_instructions=n_instructions,
+                        seed=workload_seed,
+                    ),
+                    origin=name,
+                )
+                result.corpus_path = str(path)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    mismatches = sum(1 for result in results if not result.matched)
+    return {
+        "budget": budget,
+        "seed_base": seed_base,
+        "depth": depth,
+        "n_instructions": n_instructions,
+        "workload_seed": workload_seed,
+        "mismatches": mismatches,
+        "results": [result.to_dict() for result in results],
+    }

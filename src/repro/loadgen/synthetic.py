@@ -128,6 +128,49 @@ class StaticMix:
         )
 
 
+def _split_toplevel(text: str, sep: str) -> List[str]:
+    """Split ``text`` on ``sep``, ignoring separators inside ``(...)``.
+
+    Scenario expressions contain ``+``, ``*`` and ``/`` themselves, so
+    the mix language requires them to be parenthesised —
+    ``(mix:gcc+art@500)/gated*3`` — and every split in this parser is
+    parenthesis-depth-aware.  Unbalanced parentheses raise ValueError.
+    """
+    segments: List[str] = []
+    depth = 0
+    start = 0
+    for index, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced ')' in mix entry {text!r}")
+        elif char == sep and depth == 0:
+            segments.append(text[start:index])
+            start = index + 1
+    if depth != 0:
+        raise ValueError(f"unbalanced '(' in mix entry {text!r}")
+    segments.append(text[start:])
+    return segments
+
+
+def _strip_parens(name: str) -> str:
+    """Unwrap one enclosing ``(...)`` pair, if it spans the whole name."""
+    name = name.strip()
+    if name.startswith("(") and name.endswith(")"):
+        depth = 0
+        for index, char in enumerate(name):
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0 and index != len(name) - 1:
+                    return name  # e.g. "(a)(b)": parens don't span it
+        return name[1:-1].strip()
+    return name
+
+
 def parse_mix(
     text: str, instructions: int = 4000, workload_seed: int = 1
 ) -> StaticMix:
@@ -135,25 +178,33 @@ def parse_mix(
 
     Args:
         text: Comma-separated entries,
-            ``benchmarks[/policy-spec][*weight]``.
+            ``benchmarks[/policy-spec][*weight]``.  A benchmark may be a
+            parenthesised scenario or fuzz expression —
+            ``(mix:gcc+art@500)/gated`` submits runs of the scenario,
+            ``gcc+(phases:art+mcf)/gated`` sweeps over gcc and the
+            composite — since bare ``+``/``*``/``/`` characters belong
+            to the mix language itself.
         instructions: Micro-ops per submitted configuration.
         workload_seed: The *simulation* seed inside every payload (the
             generator's stream seed is separate, so changing it never
             changes the unit digests being requested).
 
     Raises:
-        ValueError: for a malformed entry, an unknown benchmark, or a
-            policy spec the registry rejects.
+        ValueError: for a malformed entry, unbalanced parentheses, an
+            unknown benchmark, a malformed scenario expression (with its
+            position), or a policy spec the registry rejects.
     """
     entries: List[MixEntry] = []
-    for raw in text.split(","):
+    for raw in _split_toplevel(text, ","):
         part = raw.strip()
         if not part:
             continue
-        part, star, weight_text = part.rpartition("*")
-        if not star:
-            part, weight_text = weight_text, ""
-        if weight_text:
+        pieces = _split_toplevel(part, "*")
+        if len(pieces) > 2:
+            raise ValueError(f"mix entry {part!r} has more than one weight")
+        weight_text = pieces[1].strip() if len(pieces) == 2 else ""
+        part = pieces[0]
+        if len(pieces) == 2:
             try:
                 weight = int(weight_text)
             except ValueError:
@@ -164,16 +215,20 @@ def parse_mix(
                 raise ValueError(f"mix weight must be at least 1 (got {weight})")
         else:
             weight = 1
-        names_text, slash, policy = part.partition("/")
+        name_pieces = _split_toplevel(part, "/")
+        names_text = name_pieces[0]
+        policy = "/".join(name_pieces[1:]).strip() if len(name_pieces) > 1 else ""
         benchmarks = tuple(
-            name.strip() for name in names_text.split("+") if name.strip()
+            stripped
+            for name in _split_toplevel(names_text, "+")
+            if (stripped := _strip_parens(name))
         )
         if not benchmarks:
             raise ValueError(f"mix entry {raw.strip()!r} names no benchmark")
         entries.append(
             MixEntry(
                 benchmarks=benchmarks,
-                dcache=policy.strip() if slash else "gated",
+                dcache=policy if policy else "gated",
                 weight=weight,
                 instructions=instructions,
                 seed=workload_seed,

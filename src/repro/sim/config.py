@@ -265,15 +265,25 @@ class SimulationConfig:
         default threshold) share a key, and newly registered policies
         participate with no driver changes.  ``trace:`` benchmarks fold
         the trace file's identity (path, mtime, size) in, so a
-        re-recorded file is never served a stale memoised result.
+        re-recorded file is never served a stale memoised result;
+        scenario and ``fuzz:`` benchmarks fold their canonical
+        expression in, so equivalent spellings share one memo entry.
 
         A default L2 (static pull-up, derived subarray size) contributes
         nothing, keeping keys identical to the ones produced before the
         L2 carried a policy; a non-default L2 appends its canonical spec
         and granularity.
         """
+        identity = workload_identity(self.benchmark)
+        if identity is not None and identity[0] == "scenario":
+            # Key on the canonical expression instead of the literal
+            # spelling, so `MIX: GCC + McF` and `mix:gcc+mcf@2000`
+            # share one memo entry.
+            benchmark = identity[1]
+        else:
+            benchmark = self.benchmark
         key = (
-            self.benchmark,
+            benchmark,
             self.dcache.cache_key(),
             self.icache.cache_key(),
             self.feature_size_nm,
@@ -281,7 +291,7 @@ class SimulationConfig:
             self.n_instructions,
             self.seed,
             self.pipeline,
-            workload_identity(self.benchmark),
+            identity,
         )
         if not self._l2_is_default():
             key += (self.l2.cache_key(), self.l2_subarray_bytes)

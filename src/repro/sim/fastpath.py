@@ -668,6 +668,12 @@ def _trace_cache_key(benchmark: str, seed: int) -> Tuple:
     *and* on disk, since the disk filename hashes this same key.  (A
     missing file keys by name; compilation then raises the proper
     "trace file not found" error.)
+
+    Scenario and ``fuzz:`` names key on their *canonical* expression
+    (``("scenario", unparse(ast))``), so different spellings of one
+    composition — reordered modifiers, implicit quanta, a ``fuzz:``
+    seed versus its expansion — share compiled columns.  (A malformed
+    expression keys by name; compilation then raises the parse error.)
     """
     identity = workload_identity(benchmark)
     if identity is not None:

@@ -52,7 +52,9 @@ class ResultStore:
 
         ``trace:`` benchmarks fold the trace file's identity in (plain
         benchmark digests are unchanged), so re-recording a file never
-        resumes from a stale stored result.  A default L2 (static
+        resumes from a stale stored result; scenario and ``fuzz:``
+        benchmarks fold their canonical expression in, so equivalent
+        spellings resume from one stored entry.  A default L2 (static
         pull-up) is omitted by :meth:`SimulationConfig.to_dict`, so
         digests of pre-L2 configurations are unchanged and old stores
         resume; a non-default L2 folds its canonical spec in.
@@ -65,6 +67,10 @@ class ResultStore:
         identity = workload_identity(config.benchmark)
         if identity is not None:
             canonical["workload_identity"] = list(identity)
+            if identity[0] == "scenario":
+                # Digest the canonical expression, not the literal
+                # spelling, so equivalent spellings share one entry.
+                canonical["benchmark"] = identity[1]
         payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
         return sha256(payload.encode("utf-8")).hexdigest()[:32]
 

@@ -16,11 +16,26 @@ from .characteristics import (
     benchmark_names,
     get_benchmark,
 )
+from .fuzzgen import (
+    DEFAULT_FUZZ_DEPTH,
+    MAX_FUZZ_DEPTH,
+    generate_scenario,
+    parse_fuzz_name,
+)
 from .generators import CodeWalker, HotColdRegion, PointerChase, StridedStream
+from .grammar import (
+    Bench,
+    Group,
+    ScenarioError,
+    iter_leaves,
+    parse_scenario,
+    unparse,
+)
 from .olden import make_olden_workload, olden_names
 from .scenarios import (
     MultiprogrammedWorkload,
     PhaseShiftingWorkload,
+    ScenarioWorkload,
     resolve_workload,
     validate_workload_name,
     workload_identity,
@@ -63,6 +78,17 @@ __all__ = [
     "SyntheticWorkload",
     "WorkloadBase",
     "make_workload",
+    "Bench",
+    "Group",
+    "ScenarioError",
+    "ScenarioWorkload",
+    "iter_leaves",
+    "parse_scenario",
+    "unparse",
+    "DEFAULT_FUZZ_DEPTH",
+    "MAX_FUZZ_DEPTH",
+    "generate_scenario",
+    "parse_fuzz_name",
     "MultiprogrammedWorkload",
     "PhaseShiftingWorkload",
     "resolve_workload",

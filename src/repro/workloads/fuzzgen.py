@@ -1,0 +1,157 @@
+"""Seeded random scenario generation: the ``fuzz:`` workload family.
+
+``fuzz:SEED`` (or ``fuzz:SEED/DEPTH``) names a scenario expression
+*sampled* from the grammar in :mod:`repro.workloads.grammar` — valid by
+construction, deterministic in ``(SEED, DEPTH)`` across processes and
+platforms, and resolvable everywhere a benchmark name is accepted.  The
+point is adversarial coverage: the differential gate
+(``fast == reference`` bit-identity) has so far only been exercised on
+hand-written workloads; a seeded generator exercises it on compositions
+nobody imagined, and a fixed seed block in CI turns that into a
+regression gate (see ``repro fuzz`` and
+``tests/sim/test_fastpath_differential.py``).
+
+Sampling draws from small discrete palettes (quanta, weights, scales,
+slab widths) so canonical forms stay short and shrinking converges
+quickly.  Determinism relies on :class:`random.Random` seeded with a
+*string* (hashed with SHA-512 internally, stable across processes —
+unlike built-in ``hash``) and on only using ``Random`` methods whose
+output is stable across supported Python versions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import List, Tuple
+
+from .characteristics import benchmark_names
+from .grammar import Bench, Group, Node, ScenarioError
+
+__all__ = [
+    "DEFAULT_FUZZ_DEPTH",
+    "MAX_FUZZ_DEPTH",
+    "generate_scenario",
+    "parse_fuzz_name",
+]
+
+#: Depth used when a ``fuzz:SEED`` name omits ``/DEPTH``.
+DEFAULT_FUZZ_DEPTH = 3
+
+#: Deepest nesting the generator will produce (the grammar's own cap is
+#: higher; generated trees stay comfortably within it).
+MAX_FUZZ_DEPTH = 6
+
+#: Most benchmark leaves a generated expression may contain.
+_LEAF_BUDGET = 8
+
+#: Quanta small enough that short differential runs actually switch.
+_QUANTUM_PALETTE = (150, 250, 400, 600, 900, 1500)
+
+#: Footprint-scaling palette (pressure shaping both ways).
+_SCALE_PALETTE = (0.25, 0.5, 2.0, 4.0)
+
+#: Address-slab widths narrow enough to alias regions together.
+_SLAB_PALETTE = (28, 32, 36)
+
+_NEST_PROBABILITY = 0.35
+_WEIGHT_PROBABILITY = 0.25
+_SCALE_PROBABILITY = 0.20
+_SLAB_PROBABILITY = 0.15
+
+
+def parse_fuzz_name(name: str) -> Tuple[int, int]:
+    """Parse ``fuzz:SEED[/DEPTH]`` into ``(seed, depth)``.
+
+    Raises:
+        ScenarioError: for anything after ``fuzz:`` that is not a
+            non-negative integer seed with an optional ``/DEPTH`` in
+            ``[1, MAX_FUZZ_DEPTH]`` — position-annotated like every
+            other scenario syntax error.
+    """
+    prefix, _, rest = name.partition(":")
+    offset = len(prefix) + 1
+    seed_text, sep, depth_text = rest.partition("/")
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise ScenarioError(
+            name, f"fuzz seed must be an integer (got {seed_text!r})", offset
+        ) from None
+    if seed < 0:
+        raise ScenarioError(name, "fuzz seed must be non-negative", offset)
+    if not sep:
+        return seed, DEFAULT_FUZZ_DEPTH
+    depth_offset = offset + len(seed_text) + 1
+    try:
+        depth = int(depth_text)
+    except ValueError:
+        raise ScenarioError(
+            name, f"fuzz depth must be an integer (got {depth_text!r})", depth_offset
+        ) from None
+    if not 1 <= depth <= MAX_FUZZ_DEPTH:
+        raise ScenarioError(
+            name,
+            f"fuzz depth must be between 1 and {MAX_FUZZ_DEPTH} (got {depth})",
+            depth_offset,
+        )
+    return seed, depth
+
+
+def generate_scenario(seed: int, depth: int = DEFAULT_FUZZ_DEPTH) -> Group:
+    """Sample a valid scenario AST from ``(seed, depth)``.
+
+    The result is deterministic, canonical (it round-trips through
+    :func:`~repro.workloads.grammar.unparse` /
+    :func:`~repro.workloads.grammar.parse_scenario` unchanged) and valid
+    by construction: every leaf names a registered benchmark, every list
+    has at least two terms, and at most :data:`_LEAF_BUDGET` leaves —
+    so ``fuzz:`` names never fail to resolve.
+    """
+    if seed < 0:
+        raise ValueError("fuzz seed must be non-negative")
+    if not 1 <= depth <= MAX_FUZZ_DEPTH:
+        raise ValueError(
+            f"fuzz depth must be between 1 and {MAX_FUZZ_DEPTH} (got {depth})"
+        )
+    rng = random.Random(f"repro-fuzz/{seed}/{depth}")
+    return _generate_group(rng, depth, _LEAF_BUDGET)
+
+
+def _generate_group(rng: random.Random, depth: int, allotment: int) -> Group:
+    """Sample one list, never exceeding ``allotment`` benchmark leaves.
+
+    The allotment is split among the children (at least one leaf each);
+    a child holding two or more may recurse with exactly its share, so
+    the total leaf count is bounded by construction — no rejection
+    sampling, every draw is valid.
+    """
+    family = rng.choice(("mix", "phases"))
+    n_children = min(rng.randint(2, 3), allotment)
+    shares = [1] * n_children
+    for _ in range(allotment - n_children):
+        # Leave some allotment unused about half the time, so generated
+        # expressions vary in size, not just in shape.
+        if rng.random() < 0.5:
+            shares[rng.randrange(n_children)] += 1
+    children: List[Node] = []
+    for share in shares:
+        if share >= 2 and depth > 1 and rng.random() < _NEST_PROBABILITY:
+            node: Node = _generate_group(rng, depth - 1, share)
+        else:
+            node = Bench(name=rng.choice(benchmark_names()))
+        children.append(_decorate(rng, node))
+    return Group(
+        family=family,
+        children=tuple(children),
+        quantum=rng.choice(_QUANTUM_PALETTE),
+    )
+
+
+def _decorate(rng: random.Random, node: Node) -> Node:
+    weight = rng.randint(2, 3) if rng.random() < _WEIGHT_PROBABILITY else 1
+    scale = (
+        rng.choice(_SCALE_PALETTE) if rng.random() < _SCALE_PROBABILITY else 1.0
+    )
+    slab = rng.choice(_SLAB_PALETTE) if rng.random() < _SLAB_PROBABILITY else None
+    return replace(node, weight=weight, scale=scale, slab=slab)

@@ -1,0 +1,431 @@
+"""The scenario algebra: a recursive workload-composition grammar.
+
+``mix:``/``phases:`` started life (PR 2) as flat lists of benchmark
+names.  This module generalises them into a small recursive language
+whose expressions denote deterministic micro-op streams, resolvable
+everywhere a benchmark name is accepted::
+
+    scenario  := family ":" term ("+" term)* ["@" QUANTUM]
+    family    := "mix" | "phases"
+    term      := atom modifier*
+    atom      := BENCHMARK | "(" scenario ")"
+    modifier  := "*" WEIGHT | "~scale=" FLOAT | "~slab=" BITS
+
+Semantics:
+
+* ``mix:`` children are **programs**: they time-share the core in
+  round-robin quanta, each in a disjoint address slab and a disjoint
+  slice of the architectural registers.
+* ``phases:`` children are **behaviour profiles** of one program: the
+  stream alternates between them every quantum, sharing one address
+  space and the full register file.
+* ``(scenario)`` nests: a parenthesised expression is one term of the
+  enclosing list, so a ``mix:`` can interleave a ``phases:`` composite
+  with a plain benchmark — ``mix:(phases:gcc+mcf@5000)*2+vortex@800``.
+* ``*N`` weights a term: it receives ``N`` consecutive quanta per
+  round-robin turn (default 1).
+* ``~scale=F`` scales the data and instruction footprints of every
+  benchmark underneath by ``F`` (pressure shaping: ``0.25`` packs the
+  working set into a quarter of the space, ``4.0`` spreads it out).
+* ``~slab=B`` folds the addresses of every benchmark underneath into a
+  ``2**B``-byte slab (default 40 bits, effectively unlimited); narrow
+  slabs alias a program's regions together, raising cache pressure
+  without changing the instruction stream shape.
+
+Parsing is strict and *position-annotated*: every syntax error raises
+:class:`ScenarioError` (a :class:`ValueError`) carrying the offending
+offset, so the CLI, the service's 422 mapping and the loadgen mix parser
+all surface "what's wrong, and where" instead of a bare traceback.
+
+The AST is canonicalisable: :func:`unparse` renders any tree to a
+normal form (explicit quantum, lower-case names, defaults omitted) with
+``parse(unparse(parse(s)))`` an identity — the property the engine's
+cache keys rely on via
+:func:`repro.workloads.scenarios.workload_identity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Bench",
+    "Group",
+    "LeafInfo",
+    "ScenarioError",
+    "DEFAULT_MIX_QUANTUM",
+    "DEFAULT_PHASE_QUANTUM",
+    "DEFAULT_SLAB_BITS",
+    "MAX_LEAVES",
+    "MAX_NESTING_DEPTH",
+    "analyse",
+    "iter_leaves",
+    "parse_scenario",
+    "scenario_family",
+    "unparse",
+]
+
+#: Default context-switch quantum (micro-ops) for ``mix:`` lists.
+DEFAULT_MIX_QUANTUM = 2000
+
+#: Default phase length (micro-ops) for ``phases:`` lists.
+DEFAULT_PHASE_QUANTUM = 1500
+
+#: Default address-slab width: each program owns a 2**40-byte slab,
+#: wide enough that synthetic addresses are never folded.
+DEFAULT_SLAB_BITS = 40
+
+#: Deepest allowed nesting of parenthesised scenarios.
+MAX_NESTING_DEPTH = 8
+
+#: Most benchmark leaves one expression may contain (register slicing
+#: needs at least one architectural register per program).
+MAX_LEAVES = 16
+
+#: Term-weight ceiling (quanta per round-robin turn).
+_MAX_WEIGHT = 16
+
+#: Footprint-scaling bounds.
+_MIN_SCALE, _MAX_SCALE = 0.125, 8.0
+
+#: Address-slab width bounds (bits).
+_MIN_SLAB, _MAX_SLAB = 20, 40
+
+#: The two composition families.
+_FAMILIES = ("mix", "phases")
+
+_NAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-"
+)
+
+
+class ScenarioError(ValueError):
+    """A malformed scenario expression, annotated with its position.
+
+    Attributes:
+        text: The full scenario name being parsed.
+        position: Zero-based character offset of the defect in ``text``.
+    """
+
+    def __init__(self, text: str, message: str, position: int) -> None:
+        self.text = text
+        self.position = position
+        super().__init__(
+            f"invalid scenario {text!r}: {message} (at position {position})"
+        )
+
+
+@dataclass(frozen=True)
+class Bench:
+    """A leaf: one synthetic benchmark, optionally pressure-shaped."""
+
+    name: str
+    weight: int = 1
+    scale: float = 1.0
+    slab: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Group:
+    """A composite: a ``mix:`` or ``phases:`` list of weighted terms."""
+
+    family: str
+    children: Tuple["Node", ...]
+    quantum: int
+    weight: int = 1
+    scale: float = 1.0
+    slab: Optional[int] = None
+
+
+Node = Union[Bench, Group]
+
+
+@dataclass(frozen=True)
+class LeafInfo:
+    """One benchmark leaf with its resolved composition context.
+
+    Attributes:
+        bench: The leaf node itself.
+        seed_index: DFS position among the expression's leaves; child
+            workload seeds decorrelate as ``seed + 101 * seed_index``,
+            exactly like the flat scenarios always have.
+        program: The chain of ``mix:`` child indices above this leaf —
+            leaves sharing it (siblings under ``phases:``) share one
+            address space; distinct chains are distinct programs.
+        scale: Effective footprint scaling (modifiers multiply down the
+            tree).
+        slab: Effective address-slab width in bits (the innermost
+            ``~slab`` modifier wins; :data:`DEFAULT_SLAB_BITS` when
+            unset).
+    """
+
+    bench: Bench
+    seed_index: int
+    program: Tuple[int, ...]
+    scale: float
+    slab: int
+
+
+def scenario_family(name: str) -> Optional[str]:
+    """The composition family of ``name`` (``mix``/``phases``), else ``None``."""
+    prefix, sep, _ = name.partition(":")
+    if not sep:
+        return None
+    family = prefix.strip().lower()
+    return family if family in _FAMILIES else None
+
+
+def default_quantum(family: str) -> int:
+    """The quantum a ``family`` list defaults to when ``@`` is absent."""
+    return DEFAULT_MIX_QUANTUM if family == "mix" else DEFAULT_PHASE_QUANTUM
+
+
+class _Parser:
+    """Recursive-descent parser over one scenario name."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- low-level ------------------------------------------------------
+    def _fail(self, message: str, position: Optional[int] = None) -> None:
+        raise ScenarioError(
+            self.text, message, self.pos if position is None else position
+        )
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _expect(self, char: str, what: str) -> None:
+        if self._peek() != char:
+            self._fail(f"expected {char!r} {what}")
+        self.pos += 1
+
+    def _word(self, what: str) -> Tuple[str, int]:
+        self._skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            self._fail(f"expected {what}", start)
+        return self.text[start : self.pos], start
+
+    def _int(self, what: str, low: int, high: int) -> int:
+        word, start = self._word(what)
+        try:
+            value = int(word)
+        except ValueError:
+            self._fail(f"{what} must be an integer (got {word!r})", start)
+        if not low <= value <= high:
+            self._fail(f"{what} must be between {low} and {high} (got {value})", start)
+        return value
+
+    def _float(self, what: str, low: float, high: float) -> float:
+        word, start = self._word(what)
+        try:
+            value = float(word)
+        except ValueError:
+            self._fail(f"{what} must be a number (got {word!r})", start)
+        if not low <= value <= high:
+            self._fail(f"{what} must be between {low} and {high} (got {value})", start)
+        return value
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> Group:
+        root = self._scenario(depth=1)
+        self._skip_ws()
+        if self.pos != len(self.text):
+            self._fail("unexpected trailing text")
+        leaves = len(list(iter_leaves(root)))
+        if leaves > MAX_LEAVES:
+            self._fail(
+                f"too many benchmark leaves ({leaves} > {MAX_LEAVES})", 0
+            )
+        return root
+
+    def _scenario(self, depth: int) -> Group:
+        if depth > MAX_NESTING_DEPTH:
+            self._fail(f"scenarios nest at most {MAX_NESTING_DEPTH} deep")
+        family_word, start = self._word("a scenario family ('mix' or 'phases')")
+        family = family_word.lower()
+        if family not in _FAMILIES:
+            self._fail(
+                f"unknown scenario family {family_word!r} "
+                "(expected 'mix' or 'phases')",
+                start,
+            )
+        self._expect(":", f"after {family!r}")
+        terms = [self._term(depth)]
+        while self._peek() == "+":
+            self.pos += 1
+            terms.append(self._term(depth))
+        quantum = default_quantum(family)
+        if self._peek() == "@":
+            self.pos += 1
+            quantum = self._int("quantum", 1, 10_000_000)
+        if len(terms) < 2:
+            self._fail(
+                f"{family}: lists take at least two '+'-separated terms", start
+            )
+        return Group(family=family, children=tuple(terms), quantum=quantum)
+
+    def _term(self, depth: int) -> Node:
+        if self._peek() == "(":
+            self.pos += 1
+            node: Node = self._scenario(depth + 1)
+            self._expect(")", "to close the nested scenario")
+        else:
+            word, start = self._word("a benchmark name or '('")
+            node = Bench(name=word.lower())
+        return self._modifiers(node)
+
+    def _modifiers(self, node: Node) -> Node:
+        weight: Optional[int] = None
+        scale: Optional[float] = None
+        slab: Optional[int] = None
+        while True:
+            char = self._peek()
+            if char == "*":
+                if weight is not None:
+                    self._fail("duplicate weight modifier")
+                self.pos += 1
+                weight = self._int("weight", 1, _MAX_WEIGHT)
+            elif char == "~":
+                self.pos += 1
+                key, start = self._word("a modifier name ('scale' or 'slab')")
+                self._expect("=", f"after modifier {key!r}")
+                if key == "scale":
+                    if scale is not None:
+                        self._fail("duplicate scale modifier", start)
+                    scale = self._float("scale", _MIN_SCALE, _MAX_SCALE)
+                elif key == "slab":
+                    if slab is not None:
+                        self._fail("duplicate slab modifier", start)
+                    slab = self._int("slab", _MIN_SLAB, _MAX_SLAB)
+                else:
+                    self._fail(
+                        f"unknown modifier {key!r} (expected 'scale' or 'slab')",
+                        start,
+                    )
+            else:
+                break
+        return replace(
+            node,
+            weight=1 if weight is None else weight,
+            scale=1.0 if scale is None else scale,
+            slab=slab,
+        )
+
+
+def parse_scenario(name: str) -> Optional[Group]:
+    """Parse a scenario name into its AST.
+
+    Returns ``None`` when ``name`` does not start with a composition
+    family prefix (plain benchmarks, ``trace:`` and ``fuzz:`` names are
+    some other layer's business).
+
+    Raises:
+        ScenarioError: for a malformed expression, with the offending
+            position.
+    """
+    if scenario_family(name) is None:
+        return None
+    return _Parser(name).parse()
+
+
+def _render_float(value: float) -> str:
+    # repr() round-trips every float exactly in Python 3, so the
+    # canonical form parses back to the identical AST.
+    rendered = repr(value)
+    return rendered[:-2] if rendered.endswith(".0") else rendered
+
+
+def _unparse_term(node: Node) -> str:
+    if isinstance(node, Bench):
+        text = node.name
+    else:
+        text = f"({unparse(node)})"
+    if node.scale != 1.0:
+        text += f"~scale={_render_float(node.scale)}"
+    if node.slab is not None:
+        text += f"~slab={node.slab}"
+    if node.weight != 1:
+        text += f"*{node.weight}"
+    return text
+
+
+def unparse(root: Group) -> str:
+    """Render an AST to its canonical name (always parses back equal).
+
+    The canonical form lower-cases names, renders the quantum
+    explicitly, orders modifiers ``~scale``, ``~slab``, ``*weight`` and
+    omits defaults, so syntactically different spellings of the same
+    expression share one canonical string — the engine and trace caches
+    key on it.
+    """
+    body = "+".join(_unparse_term(child) for child in root.children)
+    return f"{root.family}:{body}@{root.quantum}"
+
+
+def iter_leaves(root: Group):
+    """Yield the expression's :class:`Bench` leaves in DFS order."""
+    for child in root.children:
+        if isinstance(child, Bench):
+            yield child
+        else:
+            yield from iter_leaves(child)
+
+
+def analyse(root: Group) -> Tuple[List[LeafInfo], List[Tuple[int, ...]]]:
+    """Resolve the composition context of every leaf.
+
+    Returns ``(leaves, programs)``: the leaves in DFS order with their
+    effective scale/slab/program, and the ordered distinct programs
+    (chains of ``mix:`` child indices).  A pure ``phases:`` tree has a
+    single program — no address or register translation — matching the
+    flat scenarios' long-standing semantics.
+    """
+    leaves: List[LeafInfo] = []
+    programs: List[Tuple[int, ...]] = []
+
+    def walk(
+        node: Node, program: Tuple[int, ...], scale: float, slab: Optional[int]
+    ) -> None:
+        scale *= node.scale
+        if node.slab is not None:
+            slab = node.slab
+        if isinstance(node, Bench):
+            if program not in programs:
+                programs.append(program)
+            leaves.append(
+                LeafInfo(
+                    bench=node,
+                    seed_index=len(leaves),
+                    program=program,
+                    scale=scale,
+                    slab=DEFAULT_SLAB_BITS if slab is None else slab,
+                )
+            )
+            return
+        for index, child in enumerate(node.children):
+            child_program = (
+                program + (index,) if node.family == "mix" else program
+            )
+            walk(child, child_program, scale, slab)
+
+    # The root's own modifiers are grammatically impossible (terms only
+    # carry them), so the walk starts neutral.
+    for index, child in enumerate(root.children):
+        walk(
+            child,
+            (index,) if root.family == "mix" else (),
+            1.0,
+            None,
+        )
+    return leaves, programs

@@ -31,6 +31,7 @@ _DOCTEST_PAGES = [
     DOCS_DIR / "quickstart.md",
     DOCS_DIR / "service.md",
     DOCS_DIR / "loadgen.md",
+    DOCS_DIR / "scenarios.md",
 ]
 
 
@@ -52,6 +53,7 @@ def test_docs_directory_is_populated() -> None:
         "performance.md",
         "service.md",
         "loadgen.md",
+        "scenarios.md",
     } <= names
 
 

@@ -43,6 +43,33 @@ class TestParseMix:
         names = sorted(c.benchmark for c in mix.unique_configs())
         assert names == ["art", "gcc"]
 
+    def test_parenthesised_scenario_entries(self):
+        # Scenario expressions contain +/*// themselves, so the mix
+        # language takes them parenthesised; splitting is depth-aware.
+        mix = parse_mix(
+            "(mix:gcc+art@500)/gated*2, gcc+(phases:art+mcf)/gated,"
+            " (fuzz:3/2)/gated"
+        )
+        assert [entry.kind for entry in mix.entries] == ["run", "sweep", "run"]
+        assert mix.entries[0].benchmarks == ("mix:gcc+art@500",)
+        assert mix.entries[0].weight == 2
+        assert mix.entries[1].benchmarks == ("gcc", "phases:art+mcf")
+        assert mix.entries[2].benchmarks == ("fuzz:3/2",)
+
+    def test_unbalanced_parentheses_fail_at_parse_time(self):
+        with pytest.raises(ValueError, match="unbalanced"):
+            parse_mix("(mix:gcc+art@500/gated")
+        with pytest.raises(ValueError, match="unbalanced"):
+            parse_mix("mix:gcc+art@500)/gated")
+
+    def test_malformed_scenario_entry_carries_the_position(self):
+        with pytest.raises(ValueError, match="at position"):
+            parse_mix("(mix:gcc+art@soon)/gated")
+
+    def test_scenario_entry_with_unknown_benchmark_fails(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            parse_mix("(mix:gcc+nosuch@100)/gated")
+
 
 class TestReproducibility:
     MIX = "gcc/gated,art/gated:threshold=200*2,gcc+art/gated"

@@ -1,0 +1,170 @@
+"""Property-based tests for the scenario algebra and the fuzz generator.
+
+Three families of invariant, all load-bearing:
+
+* **Round-trip identity** — ``parse(unparse(ast)) == ast`` for arbitrary
+  valid ASTs, and ``unparse`` is a fixpoint on canonical names.  The
+  engine's cache keys equate scenarios through their canonical form, so
+  a round-trip failure would silently alias distinct workloads.
+* **Generated-AST validity** — every ``fuzz:SEED/DEPTH`` name resolves:
+  the generator may only emit expressions the parser accepts and the
+  workload layer can build.
+* **Determinism** — the same expression and seed yield the identical
+  instruction stream, across generator instances and across *processes*
+  (``PYTHONHASHSEED`` must not leak in).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+from itertools import islice
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.characteristics import benchmark_names
+from repro.workloads.fuzzgen import (
+    MAX_FUZZ_DEPTH,
+    generate_scenario,
+)
+from repro.workloads.grammar import (
+    MAX_LEAVES,
+    Bench,
+    Group,
+    ScenarioError,
+    iter_leaves,
+    parse_scenario,
+    unparse,
+)
+from repro.workloads.scenarios import ScenarioWorkload, resolve_workload
+
+_NAMES = benchmark_names()
+
+_weights = st.integers(min_value=1, max_value=16)
+_scales = st.one_of(
+    st.just(1.0),
+    st.floats(min_value=0.125, max_value=8.0, allow_nan=False),
+)
+_slabs = st.one_of(st.none(), st.integers(min_value=20, max_value=40))
+
+_benches = st.builds(
+    Bench,
+    name=st.sampled_from(_NAMES),
+    weight=_weights,
+    scale=_scales,
+    slab=_slabs,
+)
+
+
+def _groups(children: st.SearchStrategy) -> st.SearchStrategy:
+    return st.builds(
+        Group,
+        family=st.sampled_from(["mix", "phases"]),
+        children=st.lists(children, min_size=2, max_size=3).map(tuple),
+        quantum=st.integers(min_value=1, max_value=10_000_000),
+        weight=_weights,
+        scale=_scales,
+        slab=_slabs,
+    )
+
+
+_terms = st.recursive(_benches, _groups, max_leaves=6)
+
+#: Roots never carry modifiers (the grammar attaches them to terms only).
+_roots = _groups(_terms).map(
+    lambda g: Group(family=g.family, children=g.children, quantum=g.quantum)
+).filter(lambda g: len(list(iter_leaves(g))) <= MAX_LEAVES)
+
+
+class TestRoundTrip:
+    @given(root=_roots)
+    @settings(max_examples=200, deadline=None)
+    def test_parse_unparse_parse_is_identity(self, root):
+        assert parse_scenario(unparse(root)) == root
+
+    @given(root=_roots)
+    @settings(max_examples=100, deadline=None)
+    def test_unparse_is_a_fixpoint(self, root):
+        canonical = unparse(root)
+        assert unparse(parse_scenario(canonical)) == canonical
+
+    @given(text=st.text(max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_parser_never_raises_anything_but_scenario_error(self, text):
+        try:
+            parse_scenario("mix:" + text)
+        except ScenarioError:
+            pass  # the only acceptable failure mode
+
+
+class TestGeneratedValidity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        depth=st.integers(min_value=1, max_value=MAX_FUZZ_DEPTH),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_every_fuzz_seed_resolves(self, seed, depth):
+        root = generate_scenario(seed, depth)
+        # Canonical, within grammar bounds, and buildable.
+        canonical = unparse(root)
+        assert parse_scenario(canonical) == root
+        assert len(list(iter_leaves(root))) <= MAX_LEAVES
+        workload = resolve_workload(f"fuzz:{seed}/{depth}")
+        assert isinstance(workload, ScenarioWorkload)
+        assert next(workload.instructions()) is not None
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        depth=st.integers(min_value=1, max_value=MAX_FUZZ_DEPTH),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_generation_is_deterministic(self, seed, depth):
+        assert generate_scenario(seed, depth) == generate_scenario(seed, depth)
+
+
+class TestDeterminism:
+    @given(
+        seed=st.integers(min_value=0, max_value=1_000),
+        workload_seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_same_name_and_seed_yield_identical_streams(
+        self, seed, workload_seed
+    ):
+        name = f"fuzz:{seed}/2"
+        first = resolve_workload(name, seed=workload_seed)
+        second = resolve_workload(name, seed=workload_seed)
+        assert list(islice(first.instructions(), 400)) == list(
+            islice(second.instructions(), 400)
+        )
+
+    def test_streams_are_identical_across_processes(self):
+        # PYTHONHASHSEED randomises builtin hash() per process; the
+        # stream digest must not move when it does.
+        script = (
+            "import hashlib\n"
+            "from itertools import islice\n"
+            "from repro.workloads.scenarios import resolve_workload\n"
+            "for name in ('mix:(phases:gcc+mcf@300)*2+vortex@250', 'fuzz:11/3'):\n"
+            "    w = resolve_workload(name, seed=9)\n"
+            "    ops = repr(list(islice(w.instructions(), 1500)))\n"
+            "    print(hashlib.sha256(ops.encode()).hexdigest())\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        digests = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(src)
+            env["PYTHONHASHSEED"] = hash_seed
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            digests.append(proc.stdout)
+        assert digests[0] == digests[1]

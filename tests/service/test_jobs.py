@@ -70,6 +70,32 @@ class TestSemanticValidation:
                 {"kind": "run", "config": _config_dict(benchmark="nope")}
             )
 
+    def test_malformed_nested_scenario_is_invalid_with_position(self):
+        # The 422 message must carry the parser's position annotation,
+        # so remote clients see exactly what a local run would print.
+        with pytest.raises(InvalidJob, match="at position 20"):
+            parse_job_payload(
+                {
+                    "kind": "run",
+                    "config": _config_dict(
+                        benchmark="mix:(phases:gcc+mcf@soon)+vortex"
+                    ),
+                }
+            )
+
+    def test_bad_fuzz_spec_is_invalid(self):
+        with pytest.raises(InvalidJob, match="fuzz depth must be between"):
+            parse_job_payload(
+                {"kind": "run", "config": _config_dict(benchmark="fuzz:1/99")}
+            )
+
+    def test_nested_scenario_and_fuzz_names_are_valid(self):
+        for name in ("mix:(phases:gcc+mcf@500)*2+vortex@800", "fuzz:3"):
+            job = parse_job_payload(
+                {"kind": "run", "config": _config_dict(benchmark=name)}
+            )
+            assert job.configs[0].benchmark == name
+
     def test_unknown_policy_is_invalid(self):
         with pytest.raises(InvalidJob, match="unknown policy"):
             parse_job_payload(

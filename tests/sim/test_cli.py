@@ -136,6 +136,46 @@ class TestRunCommand:
         err = capsys.readouterr().err
         assert "at least two" in err and "unknown benchmark" in err
 
+    def test_malformed_nested_scenarios_exit_2_with_position(self, capsys):
+        # The satellite contract: nested scenario syntax errors surface
+        # as position-annotated exit-2 messages on run, sweep and
+        # experiment alike — never as a traceback.
+        bad = "mix:(phases:gcc+mcf@soon)+vortex"
+        assert main(["run", "--benchmark", bad, "--instructions", "500"]) == 2
+        assert main(["sweep", "--benchmarks", f"gcc,{bad}",
+                     "--instructions", "500"]) == 2
+        assert main(["experiment", "figure8", "--benchmarks", bad,
+                     "--instructions", "500"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("at position 20") == 3
+        assert "Traceback" not in err
+
+    def test_bad_fuzz_names_exit_2(self, capsys):
+        assert main(["run", "--benchmark", "fuzz:zzz",
+                     "--instructions", "500"]) == 2
+        assert main(["run", "--benchmark", "fuzz:1/99",
+                     "--instructions", "500"]) == 2
+        err = capsys.readouterr().err
+        assert "fuzz seed must be an integer" in err
+        assert "fuzz depth must be between" in err
+
+    def test_nested_scenario_and_fuzz_names_run(self, capsys):
+        status, out = run_cli(
+            capsys,
+            "run", "--benchmark", "mix:(phases:gcc+mcf@300)*2+vortex@250",
+            "--instructions", "1200", "--json",
+        )
+        assert status == 0
+        result = RunResult.from_dict(json.loads(out))
+        assert result.benchmark.startswith("mix:(")
+        status, out = run_cli(
+            capsys,
+            "run", "--benchmark", "fuzz:4", "--instructions", "1200",
+            "--json", "--fast",
+        )
+        assert status == 0
+        assert RunResult.from_dict(json.loads(out)).benchmark == "fuzz:4"
+
     def test_l2_policy_flag_reaches_the_simulation(self, capsys):
         status, out = run_cli(
             capsys,
@@ -273,3 +313,38 @@ class TestBenchCommand:
         payload = json.loads(output.read_text())
         assert all("vs_compare" not in row for row in payload["l2_grid"])
         assert "vs_compare_grid_geomean" not in payload["summary"]
+
+
+class TestFuzzCommand:
+    def test_clean_campaign_exits_zero(self, capsys, tmp_path):
+        report_path = tmp_path / "fuzz.json"
+        status, out = run_cli(
+            capsys,
+            "fuzz", "--budget", "2", "--seed-base", "0",
+            "--instructions", "600", "--report", str(report_path),
+        )
+        assert status == 0
+        assert "0 mismatch(es)" in out
+        report = json.loads(report_path.read_text())
+        assert report["budget"] == 2
+        assert report["mismatches"] == 0
+        assert [r["status"] for r in report["results"]] == ["match", "match"]
+        for entry in report["results"]:
+            assert entry["name"].startswith("fuzz:")
+            assert entry["canonical"]
+
+    def test_json_report_on_stdout(self, capsys):
+        status, out = run_cli(
+            capsys,
+            "fuzz", "--budget", "1", "--instructions", "600", "--json",
+        )
+        assert status == 0
+        report = json.loads(out)
+        assert report["seed_base"] == 0 and report["depth"] == 3
+
+    def test_bad_arguments_exit_2(self, capsys):
+        assert main(["fuzz", "--budget", "0"]) == 2
+        assert main(["fuzz", "--seed-base", "-1"]) == 2
+        assert main(["fuzz", "--budget", "1", "--depth", "99"]) == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err

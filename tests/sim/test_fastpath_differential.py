@@ -156,6 +156,45 @@ def test_scenario_workloads(scenario: str) -> None:
     )
 
 
+@pytest.mark.parametrize(
+    "scenario",
+    [
+        "mix:(phases:gcc+mcf@300)*2+vortex@250",
+        "mix:(mix:gcc+gcc@150)+gcc@200",
+        "mix:gcc~scale=0.25~slab=24+art~scale=2@350",
+        "phases:(mix:art+health@200)+gcc@400",
+    ],
+)
+def test_nested_scenario_workloads(scenario: str) -> None:
+    assert_identical(
+        SimulationConfig(
+            benchmark=scenario,
+            dcache="gated",
+            icache="gated",
+            l2=PolicySpec("gated", {"threshold": 500}),
+            n_instructions=_INSTRUCTIONS,
+        )
+    )
+
+
+@pytest.mark.parametrize("fuzz_seed", range(25))
+def test_fuzz_seed_block(fuzz_seed: int) -> None:
+    # The fixed 25-seed regression block: generated scenarios nobody
+    # hand-wrote, with every cache level precharge-gated so both L1 and
+    # L2 policy machinery is exercised.  `repro fuzz` explores beyond
+    # this block; any mismatch it ever finds lands in tests/fuzz_corpus
+    # (replayed by test_fuzz_corpus.py) rather than here.
+    assert_identical(
+        SimulationConfig(
+            benchmark=f"fuzz:{fuzz_seed}",
+            dcache="gated",
+            icache="gated",
+            l2=PolicySpec("gated", {"threshold": 500}),
+            n_instructions=_INSTRUCTIONS,
+        )
+    )
+
+
 def test_trace_replay_workload(tmp_path) -> None:
     path = tmp_path / "gcc.trace.gz"
     record_benchmark(path, "gcc", 4000, seed=3)

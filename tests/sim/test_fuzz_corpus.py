@@ -1,0 +1,37 @@
+"""Replay the committed differential-fuzz corpus (tests/fuzz_corpus/).
+
+Every entry is a configuration that either once split the two kernels
+(a minimized reproducer written by ``repro fuzz``) or pins a grammar
+corner the fixed grids don't reach (a seed entry).  Tier-1 replays each
+through both kernels forever: a regression on any of them is a
+recurrence of a bug this repo has already shipped a fix for.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus
+from repro.sim.engine import execute_run, execute_run_fast
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "fuzz_corpus"
+
+_ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_present_and_loadable() -> None:
+    # The directory ships with seed entries, so an empty load means the
+    # corpus was deleted or the loader broke — both are failures.
+    assert (CORPUS_DIR / "README.md").is_file()
+    assert _ENTRIES, "fuzz corpus must contain at least the seed entries"
+
+
+@pytest.mark.parametrize(
+    "origin, config",
+    _ENTRIES,
+    ids=[config.benchmark for _, config in _ENTRIES],
+)
+def test_corpus_entry_replays_identically(origin, config) -> None:
+    assert execute_run_fast(config).to_dict() == execute_run(config).to_dict()

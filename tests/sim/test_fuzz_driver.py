@@ -1,0 +1,137 @@
+"""The differential fuzz driver: shrinking, corpus I/O, campaigns."""
+
+from __future__ import annotations
+
+import json
+
+from repro.fuzz import (
+    corpus_filename,
+    fuzz_config,
+    load_corpus,
+    run_campaign,
+    shrink_scenario,
+    write_corpus_entry,
+)
+from repro.workloads.grammar import (
+    Bench,
+    iter_leaves,
+    parse_scenario,
+    unparse,
+)
+
+
+class TestShrinker:
+    # The shrinker takes a pluggable predicate, so it is testable with
+    # synthetic "bugs" — no real kernel divergence needed.
+
+    def test_shrinks_to_the_buggy_benchmark(self):
+        root = parse_scenario(
+            "mix:(phases:gcc+mcf@300)*2+art~scale=0.5+vortex@800"
+        )
+
+        def involves_art(candidate):
+            return any(
+                leaf.name == "art" for leaf in iter_leaves(candidate)
+            )
+
+        minimal = shrink_scenario(root, involves_art)
+        assert involves_art(minimal)
+        # Two-term list with no surviving modifiers or odd quanta.
+        assert len(minimal.children) == 2
+        assert unparse(minimal).count("(") == 0
+        assert "~" not in unparse(minimal)
+        assert "*" not in unparse(minimal)
+
+    def test_shrinks_nesting_away_when_irrelevant(self):
+        root = parse_scenario("mix:(mix:gcc~slab=24+mcf@100)*3+vortex@50")
+
+        def always(candidate):
+            return True
+
+        minimal = shrink_scenario(root, always)
+        assert unparse(minimal) == "mix:gcc+mcf@2000"
+
+    def test_keeps_structure_the_predicate_needs(self):
+        root = parse_scenario("mix:(phases:gcc+mcf@300)+vortex@800")
+
+        def needs_nesting(candidate):
+            return any(
+                not isinstance(child, Bench) for child in candidate.children
+            )
+
+        minimal = shrink_scenario(root, needs_nesting)
+        assert needs_nesting(minimal)
+
+    def test_result_always_parses(self):
+        root = parse_scenario(
+            "mix:(mix:gcc+art@77)~scale=2+health~slab=28*4+mcf@99"
+        )
+        minimal = shrink_scenario(root, lambda candidate: True)
+        assert parse_scenario(unparse(minimal)) == minimal
+
+    def test_attempt_budget_bounds_the_search(self):
+        root = parse_scenario("mix:(mix:gcc+art@77)+health+mcf@99")
+        calls = []
+
+        def count(candidate):
+            calls.append(candidate)
+            return True
+
+        shrink_scenario(root, count, max_attempts=3)
+        assert len(calls) <= 3
+
+
+class TestCorpusIO:
+    def test_round_trip(self, tmp_path):
+        config = fuzz_config("mix:gcc+mcf@400", n_instructions=1234)
+        path = write_corpus_entry(tmp_path, config, origin="fuzz:9/3")
+        assert path.name == corpus_filename("mix:gcc+mcf@400")
+        entries = load_corpus(tmp_path)
+        assert len(entries) == 1
+        origin, loaded = entries[0]
+        assert origin == "fuzz:9/3"
+        assert loaded == config
+
+    def test_rewriting_the_same_reproducer_is_idempotent(self, tmp_path):
+        config = fuzz_config("mix:gcc+mcf@400")
+        write_corpus_entry(tmp_path, config, origin="a")
+        write_corpus_entry(tmp_path, config, origin="b")
+        assert len(load_corpus(tmp_path)) == 1
+
+    def test_missing_directory_loads_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+    def test_entries_are_stable_json(self, tmp_path):
+        config = fuzz_config("phases:gcc+art@300")
+        path = write_corpus_entry(tmp_path, config, origin="seed")
+        data = json.loads(path.read_text())
+        assert set(data) == {"origin", "config"}
+        assert data["config"]["benchmark"] == "phases:gcc+art@300"
+
+
+class TestCampaign:
+    def test_clean_campaign_report(self, tmp_path):
+        report = run_campaign(
+            budget=2,
+            seed_base=0,
+            depth=2,
+            n_instructions=600,
+            corpus_dir=tmp_path,
+        )
+        assert report["budget"] == 2
+        assert report["mismatches"] == 0
+        assert len(report["results"]) == 2
+        assert all(r["status"] == "match" for r in report["results"])
+        # No mismatch, no corpus writes.
+        assert load_corpus(tmp_path) == []
+
+    def test_progress_callback_sees_every_result(self):
+        seen = []
+        run_campaign(
+            budget=3, depth=1, n_instructions=400, progress=seen.append
+        )
+        assert [r.name for r in seen] == ["fuzz:0/1", "fuzz:1/1", "fuzz:2/1"]
+
+    def test_seed_base_shifts_the_block(self):
+        report = run_campaign(budget=1, seed_base=7, depth=1, n_instructions=400)
+        assert report["results"][0]["name"] == "fuzz:7/1"

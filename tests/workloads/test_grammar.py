@@ -1,0 +1,183 @@
+"""Unit tests for the scenario-algebra parser, unparser and analyser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.grammar import (
+    DEFAULT_MIX_QUANTUM,
+    DEFAULT_PHASE_QUANTUM,
+    DEFAULT_SLAB_BITS,
+    MAX_LEAVES,
+    MAX_NESTING_DEPTH,
+    Bench,
+    Group,
+    ScenarioError,
+    analyse,
+    iter_leaves,
+    parse_scenario,
+    unparse,
+)
+
+
+class TestParsing:
+    def test_flat_mix(self):
+        root = parse_scenario("mix:gcc+mcf")
+        assert root == Group(
+            family="mix",
+            children=(Bench(name="gcc"), Bench(name="mcf")),
+            quantum=DEFAULT_MIX_QUANTUM,
+        )
+
+    def test_flat_phases_with_quantum(self):
+        root = parse_scenario("phases:gcc+art@300")
+        assert root.family == "phases"
+        assert root.quantum == 300
+
+    def test_default_quanta_differ_by_family(self):
+        assert parse_scenario("mix:gcc+mcf").quantum == DEFAULT_MIX_QUANTUM
+        assert (
+            parse_scenario("phases:gcc+mcf").quantum == DEFAULT_PHASE_QUANTUM
+        )
+
+    def test_nested_scenario_with_weight(self):
+        root = parse_scenario("mix:(phases:gcc+mcf@5000)*2+vortex@800")
+        inner, vortex = root.children
+        assert isinstance(inner, Group)
+        assert inner.family == "phases"
+        assert inner.quantum == 5000
+        assert inner.weight == 2
+        assert vortex == Bench(name="vortex")
+        assert root.quantum == 800
+
+    def test_modifiers_parse_in_any_order(self):
+        a = parse_scenario("mix:gcc~scale=0.5~slab=32*3+mcf")
+        b = parse_scenario("mix:gcc*3~slab=32~scale=0.5+mcf")
+        assert a == b
+        assert a.children[0] == Bench(name="gcc", weight=3, scale=0.5, slab=32)
+
+    def test_names_are_case_insensitive(self):
+        assert parse_scenario("MIX:GCC+McF") == parse_scenario("mix:gcc+mcf")
+
+    def test_whitespace_is_insignificant(self):
+        assert parse_scenario("mix: gcc + mcf @ 500") == parse_scenario(
+            "mix:gcc+mcf@500"
+        )
+
+    def test_non_scenario_names_return_none(self):
+        assert parse_scenario("gcc") is None
+        assert parse_scenario("trace:foo.trace.gz") is None
+        assert parse_scenario("fuzz:3") is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "name, fragment",
+        [
+            ("mix:gcc", "at least two"),
+            ("phases:art", "at least two"),
+            ("mix:gcc+mcf@soon", "quantum must be an integer"),
+            ("mix:gcc+mcf@0", "quantum must be between"),
+            ("mix:(gcc+mcf)", "unknown scenario family"),
+            ("mix:(phases:gcc+mcf+vortex", "expected ')'"),
+            ("mix:gcc*0+mcf", "weight must be between"),
+            ("mix:gcc~scale=99+mcf", "scale must be between"),
+            ("mix:gcc~slab=5+mcf", "slab must be between"),
+            ("mix:gcc~speed=2+mcf", "unknown modifier"),
+            ("mix:gcc*2*3+mcf", "duplicate weight"),
+            ("mix:gcc~scale=1~scale=2+mcf", "duplicate scale"),
+            ("mix:gcc+mcf)", "unexpected trailing text"),
+            ("mix:+gcc", "expected a benchmark name"),
+        ],
+    )
+    def test_malformed_names_raise_scenario_error(self, name, fragment):
+        with pytest.raises(ScenarioError) as excinfo:
+            parse_scenario(name)
+        assert fragment in str(excinfo.value)
+
+    def test_errors_carry_the_offending_position(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            parse_scenario("mix:gcc+mcf@soon")
+        error = excinfo.value
+        assert error.text == "mix:gcc+mcf@soon"
+        assert error.text[error.position :].startswith("soon")
+        assert "position 12" in str(error)
+
+    def test_scenario_error_is_a_value_error(self):
+        # Every boundary (CLI exit 2, service 422, loadgen) catches
+        # ValueError; the annotated error must flow through all of them.
+        assert issubclass(ScenarioError, ValueError)
+
+    def test_nesting_depth_is_bounded(self):
+        name = "mix:gcc+mcf"
+        for _ in range(MAX_NESTING_DEPTH):
+            name = f"mix:({name})+gcc"
+        with pytest.raises(ScenarioError) as excinfo:
+            parse_scenario(name)
+        assert "nest at most" in str(excinfo.value)
+
+    def test_leaf_count_is_bounded(self):
+        name = "mix:" + "+".join(["gcc"] * (MAX_LEAVES + 1))
+        with pytest.raises(ScenarioError) as excinfo:
+            parse_scenario(name)
+        assert "too many benchmark leaves" in str(excinfo.value)
+
+
+class TestUnparse:
+    def test_canonical_form_is_explicit_and_lowercase(self):
+        root = parse_scenario("MIX: GCC + McF")
+        assert unparse(root) == "mix:gcc+mcf@2000"
+
+    def test_defaults_are_omitted(self):
+        root = parse_scenario("mix:gcc*1~scale=1.0+mcf")
+        assert unparse(root) == "mix:gcc+mcf@2000"
+
+    def test_modifier_order_is_normalised(self):
+        root = parse_scenario("mix:gcc*3~slab=32~scale=0.5+mcf@100")
+        assert unparse(root) == "mix:gcc~scale=0.5~slab=32*3+mcf@100"
+
+    def test_nested_unparse_parenthesises(self):
+        name = "mix:(phases:gcc+mcf@5000)*2+vortex@800"
+        assert unparse(parse_scenario(name)) == name
+
+
+class TestAnalyse:
+    def test_flat_mix_programs(self):
+        leaves, programs = analyse(parse_scenario("mix:gcc+mcf+art"))
+        assert [leaf.seed_index for leaf in leaves] == [0, 1, 2]
+        assert [leaf.program for leaf in leaves] == [(0,), (1,), (2,)]
+        assert programs == [(0,), (1,), (2,)]
+
+    def test_flat_phases_share_one_program(self):
+        leaves, programs = analyse(parse_scenario("phases:gcc+mcf"))
+        assert [leaf.program for leaf in leaves] == [(), ()]
+        assert programs == [()]
+
+    def test_phases_under_mix_are_one_program(self):
+        leaves, programs = analyse(
+            parse_scenario("mix:(phases:gcc+mcf@500)+vortex")
+        )
+        assert [leaf.program for leaf in leaves] == [(0,), (0,), (1,)]
+        assert programs == [(0,), (1,)]
+
+    def test_nested_mix_programs_are_distinct(self):
+        leaves, programs = analyse(parse_scenario("mix:(mix:gcc+gcc@500)+gcc"))
+        assert [leaf.program for leaf in leaves] == [(0, 0), (0, 1), (1,)]
+        assert len(programs) == 3
+
+    def test_scales_multiply_down_the_tree(self):
+        leaves, _ = analyse(
+            parse_scenario("mix:(mix:gcc~scale=0.5+mcf@100)~scale=0.5+art")
+        )
+        assert [leaf.scale for leaf in leaves] == [0.25, 0.5, 1.0]
+
+    def test_innermost_slab_wins(self):
+        leaves, _ = analyse(
+            parse_scenario("mix:(mix:gcc~slab=24+mcf@100)~slab=32+art")
+        )
+        assert [leaf.slab for leaf in leaves] == [24, 32, DEFAULT_SLAB_BITS]
+
+    def test_iter_leaves_matches_analyse_order(self):
+        root = parse_scenario("mix:(phases:gcc+mcf@500)+vortex")
+        leaves, _ = analyse(root)
+        assert [leaf.bench for leaf in leaves] == list(iter_leaves(root))
