@@ -322,6 +322,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the JSON report on stdout"
     )
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help=(
+            "run seeded fault-injection campaigns against a live service "
+            "and assert the recovery invariants"
+        ),
+    )
+    chaos.add_argument(
+        "--budget",
+        type=int,
+        default=25,
+        help="number of seeded chaos trials to run (default: 25)",
+    )
+    chaos.add_argument(
+        "--seed-base",
+        type=int,
+        default=0,
+        help="first trial seed; trials use seed-base..seed-base+budget-1 "
+        "(default: 0)",
+    )
+    chaos.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="micro-ops per chaos unit (default: 1500)",
+    )
+    chaos.add_argument(
+        "--kill9-every",
+        type=int,
+        default=5,
+        help="every Nth trial runs the kill -9 matrix against a repro "
+        "serve subprocess; 0 disables (default: 5)",
+    )
+    chaos.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="per-trial recovery deadline in seconds (default: 120)",
+    )
+    chaos.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the JSON campaign report to PATH",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="emit the JSON report on stdout"
+    )
+
     loadgen = subparsers.add_parser(
         "loadgen",
         help="drive a live repro service with generated or replayed traffic",
@@ -352,6 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="seconds to let the in-flight execution finish "
                             "on SIGTERM before cancelling it (default: 10)")
+    serve.add_argument("--faults", metavar="SPEC", default=None,
+                       help="install a deterministic fault plan, e.g. "
+                            "'seed=7;engine.chunk=crash:p=0.5,max=1' "
+                            "(testing only; see repro.faults)")
+    serve.add_argument("--ready-file", metavar="PATH", default=None,
+                       help="write the bound URL to PATH once listening "
+                            "(for --port 0 under test harnesses)")
 
     submit = subparsers.add_parser(
         "submit",
@@ -638,6 +695,58 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if report["mismatches"] else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.chaos import DEFAULT_CHAOS_INSTRUCTIONS, run_campaign
+
+    if args.budget < 1:
+        raise ValueError("--budget must be positive")
+    if args.seed_base < 0:
+        raise ValueError("--seed-base must be non-negative")
+    if args.kill9_every < 0:
+        raise ValueError("--kill9-every must be non-negative")
+    if args.timeout <= 0:
+        raise ValueError("--timeout must be positive")
+
+    def progress(trial) -> None:
+        if args.json:
+            return
+        status = "ok" if trial.ok else f"{len(trial.violations)} VIOLATION(S)"
+        plan = trial.plan if trial.plan is not None else "kill -9"
+        print(
+            f"seed {trial.seed:<5d} {trial.kind:6s} {status:16s} "
+            f"{trial.duration_s:6.1f}s  {plan}",
+            flush=True,
+        )
+        for violation in trial.violations:
+            print(f"{'':13s} {violation}", flush=True)
+
+    report = run_campaign(
+        budget=args.budget,
+        seed_base=args.seed_base,
+        n_instructions=(
+            DEFAULT_CHAOS_INSTRUCTIONS
+            if args.instructions is None
+            else args.instructions
+        ),
+        kill9_every=args.kill9_every,
+        timeout_s=args.timeout,
+        progress=progress,
+    )
+    if args.report is not None:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report))
+    else:
+        print(
+            f"chaos: {report['budget']} trial(s), "
+            f"{report['verified_results']} result(s) verified identical, "
+            f"{report['violations']} invariant violation(s)"
+        )
+    return 1 if report["violations"] else 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.loadgen.cli import run_from_args as loadgen_run
 
@@ -654,6 +763,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         level=logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
+    if args.faults is not None:
+        from repro import faults
+
+        try:
+            faults.install(args.faults)
+        except ValueError as error:
+            raise ValueError(f"bad --faults spec: {error}") from None
     engine = SimEngine(workers=args.workers, store=args.store, fast=args.fast)
     try:
         server = ServiceServer(
@@ -668,7 +784,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except OSError as error:
         # An unbindable address is user input, not a bug.
         raise ValueError(f"cannot bind {args.host}:{args.port}: {error}") from None
-    server.serve_forever(drain_timeout=args.drain_timeout)
+    server.serve_forever(
+        drain_timeout=args.drain_timeout, ready_file=args.ready_file
+    )
     return 0
 
 
@@ -793,6 +911,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "trace": _cmd_trace,
     "fuzz": _cmd_fuzz,
+    "chaos": _cmd_chaos,
     "loadgen": _cmd_loadgen,
     "serve": _cmd_serve,
     "submit": _cmd_submit,

@@ -33,6 +33,7 @@ import urllib.request
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import faults
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import RunResult
 from repro.workloads.characteristics import benchmark_names
@@ -40,6 +41,7 @@ from repro.workloads.characteristics import benchmark_names
 __all__ = [
     "JobFailed",
     "RemoteEngine",
+    "RetryBudgetExceeded",
     "ServiceClient",
     "ServiceError",
     "ServiceUnavailable",
@@ -47,6 +49,9 @@ __all__ = [
 
 #: Never sleep longer than this on one Retry-After / backoff step.
 MAX_BACKOFF_S = 30.0
+
+#: Job states the server will never change again (wire constants).
+_TERMINAL = ("done", "failed", "cancelled", "poisoned")
 
 
 class ServiceError(RuntimeError):
@@ -67,8 +72,18 @@ class ServiceUnavailable(ServiceError):
         self.message = message
 
 
+class RetryBudgetExceeded(ServiceUnavailable):
+    """The wall-clock retry budget ran out before a request succeeded.
+
+    A :class:`ServiceUnavailable` subclass, so existing callers that
+    handle unreachability handle deadline exhaustion too; the distinct
+    type lets deadline-aware callers (the chaos driver, loadgen) tell
+    "the server was down" from "my deadline passed while backing off".
+    """
+
+
 class JobFailed(RuntimeError):
-    """A submitted job finished ``failed`` or ``cancelled``."""
+    """A submitted job finished ``failed``/``cancelled``/``poisoned``."""
 
     def __init__(self, job: Dict[str, Any]) -> None:
         detail = job.get("error") or job.get("status")
@@ -89,6 +104,15 @@ class ServiceClient:
             exactly-reproducible retry timing.
         rng: Injection point for tests (defaults to a private
             :class:`random.Random`).
+        retry_budget_s: Overall wall-clock deadline for one request's
+            retry loop, seconds.  However many attempts ``retries``
+            allows, Retry-After hints and backoff sleeps never push a
+            call past this budget: the final sleep is clipped to the
+            time remaining and an attempt that would start after the
+            deadline raises :class:`RetryBudgetExceeded` instead.
+            ``None`` (the default) keeps the attempt-count bound only.
+        clock: Injection point for tests (defaults to
+            :func:`time.monotonic`).
     """
 
     def __init__(
@@ -100,13 +124,19 @@ class ServiceClient:
         sleep=time.sleep,
         jitter: bool = True,
         rng: Optional[random.Random] = None,
+        retry_budget_s: Optional[float] = None,
+        clock=time.monotonic,
     ) -> None:
+        if retry_budget_s is not None and retry_budget_s <= 0:
+            raise ValueError("retry_budget_s must be positive")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.jitter = jitter
+        self.retry_budget_s = retry_budget_s
         self._sleep = sleep
+        self._clock = clock
         self._rng = rng if rng is not None else random.Random()
 
     # ------------------------------------------------------------------
@@ -116,6 +146,7 @@ class ServiceClient:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         delay = self.backoff
         last_error = "no attempts made"
+        started = self._clock()
         for attempt in range(self.retries + 1):
             request = urllib.request.Request(
                 self.base_url + path,
@@ -124,33 +155,55 @@ class ServiceClient:
                 headers={"Content-Type": "application/json"},
             )
             try:
+                _injected_transport_fault()
                 with urllib.request.urlopen(request, timeout=self.timeout) as response:
                     return json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as error:
                 detail = self._error_message(error)
                 if error.code == 429 and attempt < self.retries:
                     hint = self._retry_after(error, delay)
+                    last_error = f"HTTP 429: {detail}"
                     # Equal jitter: honour at least half the server's
                     # figure so admission control still works, but
                     # decorrelate the herd it just turned away.
-                    self._sleep(self._jittered(hint, floor=hint / 2))
+                    self._pause(
+                        self._jittered(hint, floor=hint / 2), started, last_error
+                    )
                     delay = min(delay * 2, MAX_BACKOFF_S)
                     continue
                 if error.code >= 500 and attempt < self.retries:
                     last_error = f"HTTP {error.code}: {detail}"
-                    self._sleep(self._jittered(delay))
+                    self._pause(self._jittered(delay), started, last_error)
                     delay = min(delay * 2, MAX_BACKOFF_S)
                     continue
                 raise ServiceError(error.code, detail) from None
             except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as error:
                 last_error = str(getattr(error, "reason", error))
                 if attempt < self.retries:
-                    self._sleep(self._jittered(delay))
+                    self._pause(self._jittered(delay), started, last_error)
                     delay = min(delay * 2, MAX_BACKOFF_S)
                     continue
         raise ServiceUnavailable(
             f"cannot reach {self.base_url}: {last_error}"
         )
+
+    def _pause(self, seconds: float, started: float, last_error: str) -> None:
+        """One retry sleep, clipped to the wall-clock retry budget.
+
+        With ``retry_budget_s`` set, a retry whose deadline already
+        passed raises :class:`RetryBudgetExceeded` (carrying the last
+        failure, so the caller sees *why* the loop was still retrying)
+        and a sleep never extends past the deadline.
+        """
+        if self.retry_budget_s is not None:
+            remaining = self.retry_budget_s - (self._clock() - started)
+            if remaining <= 0:
+                raise RetryBudgetExceeded(
+                    f"retry budget of {self.retry_budget_s}s exhausted for "
+                    f"{self.base_url}: {last_error}"
+                )
+            seconds = min(seconds, remaining)
+        self._sleep(seconds)
 
     @staticmethod
     def _error_message(error: urllib.error.HTTPError) -> str:
@@ -267,7 +320,7 @@ class ServiceClient:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             job = self.job(job_id)
-            if job["status"] in ("done", "failed", "cancelled"):
+            if job["status"] in _TERMINAL:
                 if raise_on_failure and job["status"] != "done":
                     raise JobFailed(job)
                 return job
@@ -292,6 +345,23 @@ class ServiceClient:
                 results[key] = self.result(key)
             ordered.append(results[key])
         return ordered
+
+
+def _injected_transport_fault() -> None:
+    """The ``client.request`` failpoint: a fault before the wire.
+
+    ``drop`` raises :class:`urllib.error.URLError`, which flows through
+    the normal transport-retry branch (backoff, budget, jitter) exactly
+    as a connection reset would; ``stall`` sleeps in place, modelling a
+    slow network without consuming a retry attempt.
+    """
+    hit = faults.check("client.request")
+    if hit is None:
+        return
+    if hit.action == "stall":
+        time.sleep(hit.delay)
+    elif hit.action == "drop":
+        raise urllib.error.URLError("injected fault: client.request drop")
 
 
 def _with_options(payload: dict, priority: int, timeout_s: Optional[float]) -> dict:

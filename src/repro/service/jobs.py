@@ -55,8 +55,12 @@ __all__ = [
 #: Admissible values of a job payload's ``kind`` field.
 JOB_KINDS = ("run", "sweep", "batch")
 
-#: Job states that will never change again.
-TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+#: Job states that will never change again.  ``poisoned`` is the
+#: quarantine terminal: a job whose unit kept failing execution after
+#: the scheduler's retry budget — distinct from ``failed`` so operators
+#: (and the chaos driver) can tell a validation failure from a unit the
+#: service gave up retrying.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled", "poisoned"})
 
 #: Priorities outside this band are rejected (a runaway client must not
 #: be able to wedge itself permanently ahead of everyone).

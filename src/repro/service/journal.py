@@ -16,10 +16,16 @@ job ids are preserved so clients polling across the restart keep
 working.  :meth:`compact` then rewrites the file to just the live
 jobs, bounding its growth across restarts.
 
-A POSIX advisory lock (``fcntl.flock``) is held on the journal for the
-server's lifetime: two servers pointed at one journal would interleave
-their write-ahead logs, so the second one fails fast with
-:class:`JournalLocked` instead.
+Two servers pointed at one journal would interleave their write-ahead
+logs, so the second one fails fast with :class:`JournalLocked`.  The
+guard is a POSIX record lock (``fcntl.lockf``) on a ``<journal>.lock``
+sidecar plus a process-local registry.  Each half covers the other's
+blind spot: record locks — unlike ``flock`` — are owned by the process
+and die with it, so the fork pool workers that inherit the descriptor
+cannot keep a kill -9'd server's lock alive and wedge the restart; but
+they are invisible within one process (and dropped when *any* handle
+on the locked file closes — hence the sidecar no other code path ever
+opens), so duplicate opens in-process are caught by the registry.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import List, Optional, Union
@@ -36,16 +43,23 @@ try:  # pragma: no cover - platform probe
 except ImportError:  # pragma: no cover - non-POSIX
     fcntl = None  # type: ignore[assignment]
 
+from repro import faults
+
 from .jobs import Job
 
 __all__ = ["JobJournal", "JournalLocked"]
 
 #: Event names that mark a job finished.
-_TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
+_TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled", "poisoned"})
 
 
 class JournalLocked(RuntimeError):
     """Another live server already holds this journal."""
+
+
+#: Journal paths locked by this process (record locks cannot see them).
+_LOCAL_LOCKS: set = set()
+_LOCAL_LOCKS_GUARD = threading.Lock()
 
 
 class JobJournal:
@@ -57,21 +71,76 @@ class JobJournal:
         # Append mode creates the file when absent and never truncates
         # the history a replay will need.
         self._handle = open(self.path, "a", encoding="utf-8")
+        #: Set after a failed/torn append; the next append writes a
+        #: newline first so the torn line cannot swallow it.
+        self._needs_newline = False
+        self._lock_key = str(self.path.resolve())
+        self._lock_handle = None
+        with _LOCAL_LOCKS_GUARD:
+            if self._lock_key in _LOCAL_LOCKS:
+                self._handle.close()
+                raise JournalLocked(
+                    f"journal {self.path} is locked by this process"
+                )
+            _LOCAL_LOCKS.add(self._lock_key)
         if fcntl is not None:
+            # Lock a sidecar, not the journal itself: record locks drop
+            # when any handle on the locked file closes, and replay's
+            # read would do exactly that.  Nothing else opens the .lock.
+            self._lock_handle = open(
+                self.path.with_name(self.path.name + ".lock"), "a"
+            )
             try:
-                fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                fcntl.lockf(
+                    self._lock_handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB
+                )
             except OSError:
+                self._release_local()
+                self._lock_handle.close()
                 self._handle.close()
                 raise JournalLocked(
                     f"journal {self.path} is locked by another server"
                 ) from None
 
+    def _release_local(self) -> None:
+        with _LOCAL_LOCKS_GUARD:
+            _LOCAL_LOCKS.discard(self._lock_key)
+
     # ------------------------------------------------------------------
     def _append(self, event: dict) -> None:
+        """One fsynced JSON line; self-healing after a torn write.
+
+        If a previous append failed partway (disk full, injected torn
+        write) the file may end mid-line; the next successful append
+        starts with a newline so the damage is confined to the one
+        line replay already tolerates, instead of gluing two events
+        into one unparseable record.
+        """
         line = json.dumps(event, separators=(",", ":"))
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        hit = faults.check("journal.append")
+        if hit is not None:
+            if hit.action == "error":
+                raise OSError(f"injected fault: journal append to {self.path.name}")
+            if hit.action == "torn":
+                self._handle.write(line[: max(1, len(line) // 2)])
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._needs_newline = True
+                raise OSError(
+                    f"injected fault: torn journal append to {self.path.name}"
+                )
+        try:
+            if self._needs_newline:
+                self._handle.write("\n")
+                self._needs_newline = False
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError:
+            # The write may have landed partially; make the next append
+            # terminate this line before starting its own.
+            self._needs_newline = True
+            raise
 
     def record_submit(self, job: Job) -> None:
         """WAL a job before its admission is acknowledged.
@@ -86,7 +155,7 @@ class JobJournal:
         )
 
     def record_finish(self, job: Job) -> None:
-        """WAL a terminal transition (done/failed/cancelled)."""
+        """WAL a terminal transition (done/failed/cancelled/poisoned)."""
         event = {"v": 1, "event": job.status, "id": job.id}
         if job.error:
             event["error"] = job.error
@@ -159,13 +228,15 @@ class JobJournal:
             raise
         old = self._handle
         self._handle = open(self.path, "a", encoding="utf-8")
-        if fcntl is not None:
-            # Re-lock the new inode before releasing the old one so
-            # there is no window in which a second server could start.
-            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        self._needs_newline = False  # the rewritten file ends cleanly
+        # The advisory lock lives on the .lock sidecar, untouched by the
+        # rewrite — no unlock/relock window for a second server here.
         old.close()
 
     def close(self) -> None:
         """Release the advisory lock and close the file (idempotent)."""
         if not self._handle.closed:
+            self._release_local()
+            if self._lock_handle is not None:
+                self._lock_handle.close()  # releases the record lock
             self._handle.close()

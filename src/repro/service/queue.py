@@ -69,6 +69,8 @@ class Unit:
     status: str = "pending"  # pending | running | done | failed
     error: Optional[str] = None
     jobs: Set[str] = field(default_factory=set)
+    #: Execution failures so far (drives retry-then-quarantine).
+    failures: int = 0
 
 
 @dataclass(frozen=True)
@@ -339,6 +341,64 @@ class JobBoard:
             self._drop_orphan_units()
         for job in finished:
             self._notify(job)
+
+    def note_unit_failure(
+        self, key: str, error: str, limit: int = 3
+    ) -> Optional[str]:
+        """One execution failure on a running unit: retry or quarantine.
+
+        Below ``limit`` accumulated failures the unit returns to pending
+        and its attached jobs requeue — a transient fault (worker death,
+        injected chaos) re-executes.  At ``limit`` the unit is presumed
+        *poison*: it is dropped and every attached job finishes in the
+        distinct terminal state ``"poisoned"`` carrying the last error,
+        so a config that reliably kills executors cannot pin the
+        scheduler in a retry loop.  Returns ``"retried"``,
+        ``"quarantined"``, or ``None`` when the key is not a running
+        unit (already completed or released).
+        """
+        finished: List[Job] = []
+        outcome: Optional[str] = None
+        with self._lock:
+            unit = self._units.get(key)
+            if unit is None or unit.status != "running":
+                return None
+            unit.failures += 1
+            unit.error = error
+            if unit.failures < limit:
+                unit.status = "pending"
+                unit.jobs = {
+                    job_id
+                    for job_id in unit.jobs
+                    if job_id in self._jobs
+                    and self._jobs[job_id].status not in TERMINAL_STATES
+                }
+                if not unit.jobs:
+                    del self._units[key]
+                else:
+                    for job_id in unit.jobs:
+                        job = self._jobs[job_id]
+                        if job.status in ("queued", "running"):
+                            self._push(job)
+                    self._work.notify_all()
+                outcome = "retried"
+            else:
+                del self._units[key]
+                message = (
+                    f"unit {key} quarantined after {unit.failures} "
+                    f"failed executions: {error}"
+                )
+                for job_id in unit.jobs:
+                    job = self._jobs.get(job_id)
+                    if job is None or job.status in TERMINAL_STATES:
+                        continue
+                    self._finish(job, "poisoned", error=message)
+                    finished.append(job)
+                self._drop_orphan_units()
+                outcome = "quarantined"
+        for job in finished:
+            self._notify(job)
+        return outcome
 
     def release_units(self, keys: List[str], *, requeue: bool = True) -> None:
         """Return running units to pending (a cancelled/aborted execution).

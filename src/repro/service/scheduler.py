@@ -18,9 +18,14 @@ Per-job control:
 * **timeout** — ``timeout_s`` arms a timer that sets the same event,
   so a runaway job cannot hold the pool; the job finishes
   ``cancelled`` with a timeout message.
-* **failure** — an execution error fails the claimed units (and every
-  job attached to them) with the exception's message; the scheduler
-  thread itself never dies.
+* **failure** — an execution error returns the claimed units to
+  pending and requeues their jobs (the engine already absorbs worker
+  crashes internally, so an error reaching the scheduler is unusual);
+  a unit that keeps failing is *quarantined* after ``max_unit_failures``
+  attempts — its jobs finish in the distinct terminal state
+  ``"poisoned"`` with the last error's message — so a poison
+  configuration cannot pin the scheduler in a retry loop.  The
+  scheduler thread itself never dies.
 
 Graceful drain: :meth:`Scheduler.stop` closes the board (no more
 pops), lets the in-flight execution finish within ``timeout`` seconds,
@@ -33,6 +38,7 @@ import threading
 import time
 from typing import List, Optional
 
+from repro import faults
 from repro.sim.engine import RunCancelled, SimEngine
 
 from .jobs import Job
@@ -43,17 +49,27 @@ __all__ = ["Scheduler"]
 
 
 class Scheduler:
-    """Single executor thread between the board and the engine pool."""
+    """Single executor thread between the board and the engine pool.
+
+    Args:
+        max_unit_failures: Execution failures a unit absorbs (with
+            retries in between) before it is quarantined and its jobs
+            finish ``poisoned``.
+    """
 
     def __init__(
         self,
         board: JobBoard,
         engine: SimEngine,
         telemetry: Optional[Telemetry] = None,
+        max_unit_failures: int = 3,
     ) -> None:
+        if max_unit_failures < 1:
+            raise ValueError("max_unit_failures must be at least 1")
         self.board = board
         self.engine = engine
         self.telemetry = telemetry
+        self.max_unit_failures = max_unit_failures
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._current_lock = threading.Lock()
@@ -128,6 +144,16 @@ class Scheduler:
         configs = [unit.config for unit in units]
         started = time.monotonic()
         try:
+            # The scheduler.unit failpoint models executor death before
+            # the engine ever runs ("raise", exercising the unit
+            # retry/quarantine path) and a timeout storm ("timeout",
+            # tripping the same cancel event a deadline would).
+            hit = faults.check("scheduler.unit")
+            if hit is not None:
+                if hit.action == "timeout":
+                    cancel.set()
+                elif hit.action == "raise":
+                    raise faults.FaultInjected("scheduler.unit")
             results = self.engine.run_many(configs, cancel=cancel)
         except RunCancelled:
             self._recover_cancelled(job, units)
@@ -135,8 +161,20 @@ class Scheduler:
             return
         except Exception as error:  # noqa: BLE001 - the thread must survive
             message = f"{type(error).__name__}: {error}"
+            retried = quarantined = 0
             for unit in units:
-                self.board.fail_unit(unit.key, message)
+                outcome = self.board.note_unit_failure(
+                    unit.key, message, limit=self.max_unit_failures
+                )
+                if outcome == "retried":
+                    retried += 1
+                elif outcome == "quarantined":
+                    quarantined += 1
+            if self.telemetry is not None:
+                if retried:
+                    self.telemetry.bump("unit_retries", retried)
+                if quarantined:
+                    self.telemetry.bump("units_quarantined", quarantined)
             return
         elapsed = time.monotonic() - started
         per_unit = elapsed / max(len(units), 1)

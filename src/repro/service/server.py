@@ -44,6 +44,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from repro import faults
 from repro.core.registry import get_policy_info, policy_names
 from repro.sim.engine import SimEngine
 
@@ -210,11 +211,16 @@ class ServiceServer:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    def serve_forever(self, drain_timeout: float = 10.0) -> None:
+    def serve_forever(
+        self, drain_timeout: float = 10.0, ready_file: Union[str, Path, None] = None
+    ) -> None:
         """Blocking entry point for ``repro serve``.
 
         Installs SIGTERM/SIGINT handlers that trigger the graceful
-        drain, then blocks until one arrives.
+        drain, then blocks until one arrives.  ``ready_file`` (when
+        given) receives the bound URL once the server is accepting —
+        how a supervising process (the chaos driver, a test harness)
+        discovers an ephemeral ``--port 0`` without scraping logs.
         """
         done = threading.Event()
 
@@ -227,6 +233,8 @@ class ServiceServer:
             previous[signum] = signal.signal(signum, _drain)
         self.start()
         log.info("repro service listening on %s", self.url)
+        if ready_file is not None:
+            Path(ready_file).write_text(self.url + "\n", encoding="utf-8")
         try:
             done.wait()
         finally:
@@ -319,9 +327,18 @@ class ServiceServer:
         self.telemetry.bump("jobs_submitted")
         self.telemetry.bump("units_requested", len(job.configs))
         # Write-ahead: the journal must know the job before the client
-        # is told it was admitted.
+        # is told it was admitted.  A failed WAL write therefore rejects
+        # the job (503, retryable) — admitting work the journal cannot
+        # replay would silently drop it on the next restart.
         if self.journal is not None:
-            self.journal.record_submit(job)
+            try:
+                self.journal.record_submit(job)
+            except OSError as error:
+                self.telemetry.bump("journal_errors")
+                log.warning("journal write failed; job not admitted: %s", error)
+                return 503, {
+                    "error": f"journal write failed; job not admitted: {error}"
+                }, {"Retry-After": "1"}
         try:
             receipt = self.board.submit(job)
         except QueueFull as error:
@@ -365,7 +382,15 @@ class ServiceServer:
     def _metrics(self) -> Dict[str, Any]:
         metrics = self.telemetry.snapshot()
         engine_stats = dict(self.engine.stats)
-        lookups = sum(engine_stats.values())
+        counters = metrics.get("counters", {})
+        # Only the lookup-outcome counters — the engine's recovery
+        # stats (pool rebuilds, chunk retries) are not lookups and must
+        # not dilute the hit rate.
+        lookups = (
+            engine_stats.get("memory_hits", 0)
+            + engine_stats.get("store_hits", 0)
+            + engine_stats.get("computed", 0)
+        )
         metrics["queue_depth"] = self.board.depth()
         metrics["queue_depth_by_priority"] = {
             str(priority): depth
@@ -379,6 +404,18 @@ class ServiceServer:
             )
             if lookups
             else None
+        )
+        # Robustness surface: every recovery the stack performed, in
+        # one place, so a chaos campaign (or an operator) can see
+        # faults being absorbed rather than surfacing.
+        metrics["retries_total"] = (
+            engine_stats.get("chunk_retries", 0) + counters.get("unit_retries", 0)
+        )
+        metrics["quarantined_units"] = counters.get("units_quarantined", 0)
+        metrics["pool_rebuilds"] = engine_stats.get("pool_rebuilds", 0)
+        store = self.engine.store
+        metrics["store_corrupt_entries"] = (
+            store.stats.get("corrupt_entries", 0) if store is not None else 0
         )
         metrics["draining"] = self._draining.is_set()
         return metrics
@@ -411,6 +448,22 @@ def _make_handler(service: ServiceServer):
                     )
                     return
                 body = self.rfile.read(size) if size else b""
+            # The server.response failpoint fires before dispatch, so an
+            # injected failure never half-executes a submit: "drop"
+            # closes the connection unanswered (the client sees a
+            # transport error), "error" answers 503 (retryable).
+            hit = faults.check("server.response")
+            if hit is not None:
+                if hit.action == "drop":
+                    self.close_connection = True
+                    return
+                if hit.action == "error":
+                    self._send(
+                        503,
+                        {"error": "injected fault: server.response"},
+                        {"Retry-After": "1"},
+                    )
+                    return
             status, payload, headers = service.dispatch(
                 self.command, self.path, body
             )

@@ -50,10 +50,14 @@ class Telemetry:
             "jobs_failed": 0,
             "jobs_cancelled": 0,
             "jobs_rejected": 0,
+            "jobs_poisoned": 0,
             "units_requested": 0,
             "units_cached": 0,
             "units_coalesced": 0,
             "units_executed": 0,
+            "unit_retries": 0,
+            "units_quarantined": 0,
+            "journal_errors": 0,
         }
         self._job_latencies = deque(maxlen=latency_window)
         self._finish_times = deque(maxlen=4096)
@@ -94,6 +98,7 @@ class Telemetry:
                 self.counters["jobs_done"]
                 + self.counters["jobs_failed"]
                 + self.counters["jobs_cancelled"]
+                + self.counters["jobs_poisoned"]
             )
             recent = [t for t in self._finish_times if now - t <= _RATE_WINDOW_S]
             rejected_recent = sum(

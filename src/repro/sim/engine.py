@@ -37,6 +37,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.circuits.technology import get_technology
 from repro.cpu.pipeline import OutOfOrderPipeline
@@ -149,9 +150,13 @@ def _execute_chunk(payload: Tuple[bool, List[SimulationConfig]]) -> List[RunResu
 
     Chunks group configurations that share a compiled trace, so a worker
     pays the trace load (from the on-disk cache, usually) once per chunk
-    rather than once per configuration.
+    rather than once per configuration.  The ``engine.chunk`` failpoint
+    fires here, inside the worker: ``crash`` kills the worker process
+    (breaking the pool exactly like the OOM killer would), ``raise``
+    fails the task, ``hang`` stalls it.
     """
     fast, chunk = payload
+    faults.trip("engine.chunk")
     runner = execute_run_fast if fast else execute_run
     return [runner(config) for config in chunk]
 
@@ -193,6 +198,10 @@ class SimEngine:
             reference cycle loop.  Results are bit-identical (the
             differential suite enforces this), so fast and reference
             runs share cache entries and store records.
+        chunk_retries: How many times a failed parallel chunk is
+            resubmitted to a (rebuilt, if broken) pool before it
+            degrades to serial in-process execution.  ``0`` keeps the
+            old behaviour: any worker failure falls straight to serial.
     """
 
     def __init__(
@@ -201,14 +210,18 @@ class SimEngine:
         workers: int = 1,
         store: Optional[Union[ResultStore, str, Path]] = None,
         fast: bool = False,
+        chunk_retries: int = 2,
     ) -> None:
         if max_cached_runs < 1:
             raise ValueError("max_cached_runs must be at least 1")
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if chunk_retries < 0:
+            raise ValueError("chunk_retries must be non-negative")
         self.max_cached_runs = max_cached_runs
         self.workers = workers
         self.fast = fast
+        self.chunk_retries = chunk_retries
         self.store = ResultStore(store) if isinstance(store, (str, Path)) else store
         self._cache: "OrderedDict[Tuple, RunResult]" = OrderedDict()
         self._lock = threading.Lock()
@@ -220,6 +233,9 @@ class SimEngine:
             "memory_hits": 0,
             "store_hits": 0,
             "computed": 0,
+            "pool_rebuilds": 0,
+            "chunk_retries": 0,
+            "store_put_errors": 0,
         }
 
     # ------------------------------------------------------------------
@@ -419,7 +435,14 @@ class SimEngine:
                 if use_cache:
                     self._cache_put(key, result)
                     if self.store is not None:
-                        self.store.put(config, result)
+                        try:
+                            self.store.put(config, result)
+                        except OSError:
+                            # A full or failing disk must not lose the
+                            # computed result: it is already in the LRU
+                            # and in the caller's list.  Count it so
+                            # operators can see persistence degrading.
+                            self._bump("store_put_errors")
                 for index in pending[key]:
                     results[index] = result
 
@@ -468,13 +491,17 @@ class SimEngine:
         cancelled and :class:`RunCancelled` is raised; chunks already
         running on workers finish in the background but their results
         are simply discarded.
+
+        Worker failures degrade gracefully, per chunk: a chunk whose
+        task raised — or that was in flight when the pool broke (a
+        worker SIGKILLed, OOM-killed, or crashed mid-chunk) — is
+        resubmitted to a fresh pool up to ``chunk_retries`` times
+        (``stats["chunk_retries"]`` / ``stats["pool_rebuilds"]`` count
+        the recoveries), and only a chunk that keeps failing runs
+        serially in-process as the last resort.  One bad chunk
+        therefore no longer demotes a whole sweep to serial, and a
+        persistently crashing worker cannot fail a batch.
         """
-        chunks = self._make_chunks(configs, workers)
-        executor = self._executor(workers)
-        futures = [
-            (indices, executor.submit(_execute_chunk, (fast, chunk)))
-            for indices, chunk in chunks
-        ]
         recorded: set = set()
 
         def record_chunk(indices, chunk_results) -> None:
@@ -483,62 +510,117 @@ class SimEngine:
                     recorded.add(index)
                     record(index, result)
 
-        try:
-            for indices, future in futures:
-                while True:
-                    if cancel is not None and cancel.is_set():
-                        raise RunCancelled("cancelled between chunks")
-                    try:
-                        chunk_results = future.result(
-                            timeout=0.05 if cancel is not None else None
-                        )
-                    except FuturesTimeout:
-                        continue
-                    break
-                record_chunk(indices, chunk_results)
-        except BrokenProcessPool:
-            self.close()
-            runner = execute_run_fast if fast else execute_run
-            for indices, future in futures:
-                if future.done() and not future.cancelled():
-                    try:
-                        record_chunk(indices, future.result())
-                    except BaseException:
-                        pass
-            for indices, chunk in chunks:
-                for index, config in zip(indices, chunk):
-                    if index not in recorded:
-                        if cancel is not None and cancel.is_set():
-                            raise RunCancelled("cancelled during serial fallback")
-                        recorded.add(index)
-                        record(index, runner(config))
-        except BaseException as error:
-            # A failing chunk (bad config, kill signal) must not leave
-            # the other submitted chunks running unattended on the
-            # persistent pool, where they would steal CPU from — and
-            # queue ahead of — the caller's next run_many.
-            for _, future in futures:
-                future.cancel()
-            if isinstance(error, (KeyboardInterrupt, SystemExit)):
-                # An interrupt means the process is on its way out; a
-                # graceful close would block on the long chunks the
-                # interrupt is trying to abandon, and an abandoned fork
-                # pool would orphan its workers.  Kill it.
-                self.terminate()
+        # (indices, chunk, attempt): attempt counts pool submissions.
+        max_attempts = self.chunk_retries + 1
+        queue = [
+            (indices, chunk, 1) for indices, chunk in self._make_chunks(configs, workers)
+        ]
+        serial: List[Tuple[List[int], List[SimulationConfig]]] = []
+
+        def requeue(indices, chunk, attempt) -> None:
+            if attempt < max_attempts:
+                queue.append((indices, chunk, attempt + 1))
             else:
-                # Futures complete out of submission order but are
-                # consumed in it, so chunks that finished on other
-                # workers may not have been recorded yet.  Write them
-                # back before propagating — the documented contract
-                # (results land in the cache/store as they complete)
-                # is what lets a cancelled batch resume cheaply.
-                for indices, future in futures:
-                    if future.done() and not future.cancelled():
+                serial.append((indices, chunk))
+
+        while queue:
+            executor = self._executor(workers)
+            futures = [
+                (indices, chunk, attempt, executor.submit(_execute_chunk, (fast, chunk)))
+                for indices, chunk, attempt in queue
+            ]
+            queue = []
+            pool_broken = False
+            try:
+                for indices, chunk, attempt, future in futures:
+                    if pool_broken:
+                        # The break cancelled or poisoned the remaining
+                        # futures; salvage any that completed first and
+                        # requeue the rest against the next pool.
+                        chunk_results = None
+                        if future.done() and not future.cancelled():
+                            try:
+                                chunk_results = future.result()
+                            except BaseException:
+                                chunk_results = None
+                        if chunk_results is not None:
+                            record_chunk(indices, chunk_results)
+                        else:
+                            future.cancel()
+                            requeue(indices, chunk, attempt)
+                        continue
+                    chunk_results = None
+                    while True:
+                        if cancel is not None and cancel.is_set():
+                            raise RunCancelled("cancelled between chunks")
                         try:
-                            record_chunk(indices, future.result())
-                        except BaseException:
-                            pass
-            raise
+                            chunk_results = future.result(
+                                timeout=0.05 if cancel is not None else None
+                            )
+                            break
+                        except FuturesTimeout:
+                            continue
+                        except BrokenProcessPool:
+                            # A dead worker poisons every in-flight
+                            # future at once; recycle the pool once and
+                            # drain the rest in salvage mode.
+                            pool_broken = True
+                            self.close()
+                            self._bump("pool_rebuilds")
+                            requeue(indices, chunk, attempt)
+                            break
+                        except (KeyboardInterrupt, SystemExit):
+                            raise
+                        except Exception:
+                            # The task itself failed (a worker-side
+                            # exception with the pool still healthy).
+                            self._bump("chunk_retries")
+                            requeue(indices, chunk, attempt)
+                            break
+                    if chunk_results is not None:
+                        record_chunk(indices, chunk_results)
+            except BaseException as error:
+                # Cancellation or a kill signal must not leave the other
+                # submitted chunks running unattended on the persistent
+                # pool, where they would steal CPU from — and queue
+                # ahead of — the caller's next run_many.
+                for _, _, _, future in futures:
+                    future.cancel()
+                if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                    # An interrupt means the process is on its way out;
+                    # a graceful close would block on the long chunks
+                    # the interrupt is trying to abandon, and an
+                    # abandoned fork pool would orphan its workers.
+                    self.terminate()
+                else:
+                    # Futures complete out of submission order but are
+                    # consumed in it, so chunks that finished on other
+                    # workers may not have been recorded yet.  Write
+                    # them back before propagating — the documented
+                    # contract (results land in the cache/store as they
+                    # complete) is what lets a cancelled batch resume.
+                    for indices, _, _, future in futures:
+                        if future.done() and not future.cancelled():
+                            try:
+                                record_chunk(indices, future.result())
+                            except BaseException:
+                                pass
+                raise
+
+        # Last resort: chunks that exhausted their pool attempts run
+        # serially in the caller's process.  The direct runner call
+        # bypasses the worker-side failpoint, mirroring production —
+        # whatever kills workers (OOM, a bad cgroup) does not apply to
+        # the parent — so a chaos plan with p=1 still makes progress.
+        runner = execute_run_fast if fast else execute_run
+        for indices, chunk in serial:
+            for index, config in zip(indices, chunk):
+                if index in recorded:
+                    continue
+                if cancel is not None and cancel.is_set():
+                    raise RunCancelled("cancelled during serial fallback")
+                recorded.add(index)
+                record(index, runner(config))
 
     @staticmethod
     def _make_chunks(

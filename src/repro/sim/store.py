@@ -19,23 +19,45 @@ complete JSON document, never an interleaving of two writers, even when
 several engine or service processes hammer the same directory; when two
 processes race on one key the results are bit-identical by construction
 (runs are deterministic), so last-writer-wins is harmless.
+
+Read-side integrity: every entry written by :meth:`ResultStore.put`
+carries a SHA-256 digest of its canonical payload.  Reads verify it
+(entries from older stores without a digest are accepted unverified);
+an unparseable or digest-mismatched entry is **quarantined** — renamed
+to ``<key>.json.corrupt`` so it stops matching the ``*.json`` globs —
+counted in ``stats["corrupt_entries"]``, and reported as a miss.  A
+corrupt file therefore never raises out of a lookup and never satisfies
+one either: the entry is simply recomputed and rewritten.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
+import threading
+import time
 from hashlib import sha256
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
+from repro import faults
 from repro.workloads.scenarios import workload_identity
 
 from .config import SimulationConfig
 from .metrics import RunResult
 
 __all__ = ["ResultStore"]
+
+log = logging.getLogger("repro.store")
+
+
+def _payload_digest(payload: dict) -> str:
+    """SHA-256 over the canonical JSON of the non-digest fields."""
+    body = {key: value for key, value in payload.items() if key != "sha256"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class ResultStore:
@@ -44,6 +66,9 @@ class ResultStore:
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._stats_lock = threading.Lock()
+        #: Integrity counters; ``corrupt_entries`` feeds ``/v1/metrics``.
+        self.stats: Dict[str, int] = {"corrupt_entries": 0}
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -85,6 +110,23 @@ class ResultStore:
             raise ValueError(f"malformed result key: {key!r}")
         return self.directory / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Sideline a corrupt entry as ``<name>.corrupt`` and count it.
+
+        The sidecar suffix takes the file out of every ``*.json`` glob
+        (``keys``, ``iter_results``, ``__len__``), so a corrupt entry
+        disappears from the store's view while staying on disk for a
+        post-mortem.  Rename failures are swallowed — quarantine is
+        best-effort; the read already returned a miss.
+        """
+        with self._stats_lock:
+            self.stats["corrupt_entries"] += 1
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+        log.warning("quarantined corrupt store entry %s (%s)", path.name, reason)
+
     # ------------------------------------------------------------------
     def get(self, config: SimulationConfig) -> Optional[RunResult]:
         """The stored result for ``config``, or ``None``."""
@@ -99,19 +141,37 @@ class ResultStore:
     def get_payload(self, key: str) -> Optional[dict]:
         """The raw stored ``{"config":..., "result":...}`` payload for a key.
 
-        Returns ``None`` for an absent key or an unreadable/truncated
-        file (a truncated write from a killed process must not poison
-        the caller; the entry is simply recomputed and overwritten).
+        Returns ``None`` for an absent key, an unreadable file, or a
+        corrupt entry.  Corruption — truncated JSON from a torn write,
+        a non-object document, or a payload whose ``sha256`` digest no
+        longer matches its content — quarantines the file (see
+        :meth:`_quarantine`) and reads as a miss, so a damaged entry is
+        recomputed and overwritten instead of poisoning the caller.
         """
+        hit = faults.check("store.get")
+        if hit is not None:
+            if hit.action == "slow":
+                time.sleep(hit.delay)
+            elif hit.action == "error":
+                return None  # an unreadable file is a miss, not an error
+        path = self._key_path(key)
         try:
-            text = self._key_path(key).read_text()
+            text = path.read_text()
         except (FileNotFoundError, OSError):
             return None
         try:
             payload = json.loads(text)
         except ValueError:
+            self._quarantine(path, "unparseable JSON")
             return None
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            self._quarantine(path, "not a JSON object")
+            return None
+        stored_digest = payload.get("sha256")
+        if stored_digest is not None and stored_digest != _payload_digest(payload):
+            self._quarantine(path, "digest mismatch")
+            return None
+        return payload
 
     def get_by_key(self, key: str) -> Optional[RunResult]:
         """The stored result under ``key`` (a :meth:`key_for` digest)."""
@@ -134,10 +194,27 @@ class ResultStore:
         staged in a unique temp file, flushed and fsynced, then renamed
         over the key's path in one step — two processes writing the same
         key can interleave freely without a reader ever seeing partial
-        JSON.
+        JSON.  The payload carries its own SHA-256 digest for read-side
+        verification.
         """
         payload = {"config": config.to_dict(), "result": result.to_dict()}
+        payload["sha256"] = _payload_digest(payload)
         path = self._path(config)
+        hit = faults.check("store.put")
+        if hit is not None:
+            if hit.action == "slow":
+                time.sleep(hit.delay)
+            elif hit.action == "error":
+                raise OSError(f"injected fault: store.put of {path.name}")
+            elif hit.action == "torn":
+                # A crash mid-write with no atomic rename: the final
+                # path holds half a document.  Reads must quarantine it.
+                text = json.dumps(payload)
+                path.write_text(text[: max(1, len(text) // 2)])
+                return
+            elif hit.action == "corrupt":
+                # Bit-rot: valid JSON whose digest no longer matches.
+                payload["sha256"] = "0" * 64
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.directory), prefix=path.stem, suffix=".tmp"
         )
@@ -161,7 +238,7 @@ class ResultStore:
         return sum(1 for _ in self.directory.glob("*.json"))
 
     def iter_results(self) -> Iterator[RunResult]:
-        """Every stored result (order unspecified)."""
+        """Every stored result (order unspecified; corrupt entries skipped)."""
         for path in sorted(self.directory.glob("*.json")):
             try:
                 payload = json.loads(path.read_text())

@@ -32,6 +32,7 @@ _DOCTEST_PAGES = [
     DOCS_DIR / "service.md",
     DOCS_DIR / "loadgen.md",
     DOCS_DIR / "scenarios.md",
+    DOCS_DIR / "robustness.md",
 ]
 
 
@@ -54,6 +55,7 @@ def test_docs_directory_is_populated() -> None:
         "service.md",
         "loadgen.md",
         "scenarios.md",
+        "robustness.md",
     } <= names
 
 

@@ -1,0 +1,74 @@
+"""The chaos campaign driver: deterministic plans, clean small campaigns."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.chaos import run_campaign, sample_plan
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestPlanSampling:
+    def test_sampled_plans_are_seed_deterministic(self):
+        assert sample_plan(7).to_spec() == sample_plan(7).to_spec()
+        assert sample_plan(7).to_spec() != sample_plan(8).to_spec()
+
+    def test_sampled_plans_are_bounded(self):
+        # Every probabilistic rule must carry a fire cap, or a sampled
+        # plan could starve a trial past its recovery deadline.
+        for seed in range(50):
+            plan = sample_plan(seed)
+            assert 1 <= len(plan.rules) <= 3
+            for rule in plan.rules:
+                assert rule.max_fires is not None
+                assert rule.delay <= 0.1
+
+
+class TestSmallCampaign:
+    def test_two_fault_trials_hold_every_invariant(self):
+        report = run_campaign(budget=2, seed_base=0, kill9_every=0, timeout_s=60.0)
+        assert report["violations"] == 0
+        assert len(report["trials"]) == 2
+        assert report["verified_results"] >= 2
+        for trial in report["trials"]:
+            assert trial["kind"] == "faults"
+            assert trial["plan"] is not None
+            assert trial["violations"] == []
+
+    def test_campaign_leaves_the_registry_clean(self):
+        run_campaign(budget=1, seed_base=3, kill9_every=0, timeout_s=60.0)
+        assert faults.active_spec() is None
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(budget=0)
+
+
+class TestCli:
+    def test_chaos_cli_writes_report_and_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_path = tmp_path / "chaos.json"
+        code = main(
+            [
+                "chaos",
+                "--budget", "1",
+                "--seed-base", "0",
+                "--kill9-every", "0",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["violations"] == 0
+        out = capsys.readouterr().out
+        assert "0 invariant violation(s)" in out

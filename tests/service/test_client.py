@@ -11,6 +11,7 @@ import pytest
 
 from repro.service.client import (
     RemoteEngine,
+    RetryBudgetExceeded,
     ServiceClient,
     ServiceError,
     ServiceUnavailable,
@@ -175,6 +176,91 @@ class TestRetryDiscipline:
         client = ServiceClient(url, retries=0, sleep=lambda s: None)
         with pytest.raises(TimeoutError):
             client.wait("job-x", poll_s=0.0, timeout=0.0)
+
+
+class _FakeClock:
+    """Monotonic clock the sleep callback advances — no real waiting."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryBudget:
+    def test_budget_clips_sleeps_then_raises(self, scripted):
+        _, url = scripted
+        _ScriptedHandler.script = [(500, {}, {"error": "transient"})] * 10
+        clock = _FakeClock()
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        client = ServiceClient(
+            url, retries=9, backoff=10.0, jitter=False,
+            retry_budget_s=15.0, clock=clock, sleep=sleep,
+        )
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            client._request("GET", "/anything")
+        # First sleep takes the full nominal backoff, the second is
+        # clipped to the 5s remaining, the third attempt is refused.
+        assert sleeps == [10.0, 5.0]
+        assert "15.0s" in str(excinfo.value)
+        assert "transient" in str(excinfo.value)  # carries the last failure
+
+    def test_budget_exceeded_is_a_service_unavailable(self, scripted):
+        _, url = scripted
+        _ScriptedHandler.script = [(503, {}, {"error": "down"})] * 10
+        clock = _FakeClock()
+        client = ServiceClient(
+            url, retries=9, backoff=60.0, jitter=False,
+            retry_budget_s=30.0, clock=clock,
+            sleep=lambda s: clock.advance(s),
+        )
+        # Deadline-aware callers can still catch the broad class.
+        with pytest.raises(ServiceUnavailable):
+            client._request("GET", "/anything")
+
+    def test_budget_bounds_transport_error_retries(self):
+        clock = _FakeClock()
+        client = ServiceClient(
+            "http://127.0.0.1:9", retries=100, backoff=5.0, jitter=False,
+            retry_budget_s=12.0, clock=clock,
+            sleep=lambda s: clock.advance(s),
+        )
+        with pytest.raises(RetryBudgetExceeded):
+            client._request("GET", "/healthz")
+        assert clock.now <= 12.0  # never slept past the deadline
+
+    def test_request_inside_budget_succeeds_unclipped(self, scripted):
+        _, url = scripted
+        _ScriptedHandler.script = [
+            (500, {}, {"error": "transient"}),
+            (200, {}, {"ok": True}),
+        ]
+        clock = _FakeClock()
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            clock.advance(seconds)
+
+        client = ServiceClient(
+            url, retries=3, backoff=0.2, jitter=False,
+            retry_budget_s=60.0, clock=clock, sleep=sleep,
+        )
+        assert client._request("GET", "/anything") == {"ok": True}
+        assert sleeps == [0.2]
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceClient("http://127.0.0.1:9", retry_budget_s=0.0)
 
 
 class TestRemoteEngineSurface:

@@ -66,6 +66,53 @@ class TestReplay:
         (tmp_path / "wal").unlink()
         assert journal.replay() == []
 
+    def test_poisoned_event_is_terminal(self, tmp_path):
+        journal = JobJournal(tmp_path / "wal")
+        job = _job("gcc", "job-p")
+        journal.record_submit(job)
+        job.status, job.error = "poisoned", "unit quarantined"
+        journal.record_finish(job)
+        journal.close()
+        # A quarantined job must not resurrect (and re-poison) on boot.
+        assert JobJournal(tmp_path / "wal").replay() == []
+
+
+class TestTornWrites:
+    def test_injected_torn_append_self_heals_on_next_line(self, tmp_path):
+        from repro import faults
+
+        journal = JobJournal(tmp_path / "wal")
+        try:
+            journal.record_submit(_job("gcc", "job-1"))
+            faults.install("journal.append=torn:n=1")
+            with pytest.raises(OSError):
+                journal.record_submit(_job("art", "job-2"))
+            faults.clear()
+            # The next append terminates the torn line first, so only
+            # the interrupted event is lost — not the one after it.
+            journal.record_submit(_job("mcf", "job-3"))
+        finally:
+            faults.clear()
+            journal.close()
+        replayed = JobJournal(tmp_path / "wal").replay()
+        assert [job.id for job in replayed] == ["job-1", "job-3"]
+
+    def test_injected_append_error_loses_only_that_event(self, tmp_path):
+        from repro import faults
+
+        journal = JobJournal(tmp_path / "wal")
+        try:
+            faults.install("journal.append=error:n=1")
+            with pytest.raises(OSError):
+                journal.record_submit(_job("gcc", "job-lost"))
+            faults.clear()
+            journal.record_submit(_job("art", "job-kept"))
+        finally:
+            faults.clear()
+            journal.close()
+        replayed = JobJournal(tmp_path / "wal").replay()
+        assert [job.id for job in replayed] == ["job-kept"]
+
 
 class TestCompaction:
     def test_compact_rewrites_to_live_jobs_only(self, tmp_path):

@@ -71,10 +71,10 @@ class TestExecution:
             scheduler.stop()
             engine.close()
 
-    def test_execution_failure_fails_job_with_message(self, tmp_path):
+    def test_persistent_execution_failure_poisons_job_with_message(self, tmp_path):
         engine = SimEngine(fast=True)
         board = JobBoard()
-        scheduler = Scheduler(board, engine)
+        scheduler = Scheduler(board, engine, max_unit_failures=3)
 
         def boom(*args, **kwargs):
             raise RuntimeError("worker exploded")
@@ -84,10 +84,37 @@ class TestExecution:
         try:
             job = _job(["gcc"])
             board.submit(job)
-            assert _wait_for(lambda: job.status == "failed")
+            # The unit is retried up to the failure limit, then
+            # quarantined; its job lands in the distinct terminal state.
+            assert _wait_for(lambda: job.status == "poisoned")
             assert "worker exploded" in job.error
+            assert "quarantined" in job.error
         finally:
             scheduler.stop()
+
+    def test_transient_execution_failure_retries_to_done(self, tmp_path):
+        engine = SimEngine(fast=True, store=tmp_path / "store")
+        board = JobBoard(store=engine.store)
+        scheduler = Scheduler(board, engine, max_unit_failures=3)
+        real_run_many = engine.run_many
+        calls = []
+
+        def flaky(configs, **kwargs):
+            calls.append(len(configs))
+            if len(calls) < 3:
+                raise RuntimeError("transient pool hiccup")
+            return real_run_many(configs, **kwargs)
+
+        engine.run_many = flaky
+        scheduler.start()
+        try:
+            job = _job(["gcc"])
+            board.submit(job)
+            assert _wait_for(lambda: job.status == "done")
+            assert len(calls) == 3  # two failures absorbed, third ran
+        finally:
+            scheduler.stop()
+            engine.close()
 
 
 class TestTimeouts:

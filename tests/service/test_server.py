@@ -243,3 +243,109 @@ class TestOverHttp:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 413
+
+
+class TestRobustnessMetrics:
+    """Satellite: /v1/metrics surfaces the hardened paths' counters."""
+
+    def _wait_terminal(self, server, job_id, timeout=60.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            status, job, _ = server.dispatch("GET", f"/v1/jobs/{job_id}", None)
+            assert status == 200
+            if job["status"] in ("done", "failed", "cancelled", "poisoned"):
+                return job
+            time.sleep(0.02)
+        raise AssertionError(f"job {job_id} not terminal after {timeout}s")
+
+    def test_metrics_expose_robustness_counters(self, server):
+        status, metrics, _ = server.dispatch("GET", "/metrics", None)
+        assert status == 200
+        for field in (
+            "retries_total",
+            "quarantined_units",
+            "pool_rebuilds",
+            "store_corrupt_entries",
+        ):
+            assert metrics[field] == 0
+
+    def test_store_corruption_surfaces_in_metrics(self, server):
+        status, receipt, _ = _post(server, json.dumps(_payload()).encode())
+        assert status == 202
+        self._wait_terminal(server, receipt["id"])
+        (key,) = receipt["units"]
+        store = server.engine.store
+        store._key_path(key).write_text("{torn", encoding="utf-8")
+        assert store.get_payload(key) is None  # quarantined on read
+        status, metrics, _ = server.dispatch("GET", "/metrics", None)
+        assert metrics["store_corrupt_entries"] == 1
+
+    def test_unit_quarantine_surfaces_in_metrics(self, server):
+        def boom(*args, **kwargs):
+            raise RuntimeError("executor death")
+
+        server.engine.run_many = boom
+        status, receipt, _ = _post(server, json.dumps(_payload()).encode())
+        assert status == 202
+        job = self._wait_terminal(server, receipt["id"])
+        assert job["status"] == "poisoned"
+        status, metrics, _ = server.dispatch("GET", "/metrics", None)
+        assert metrics["quarantined_units"] == 1
+        # max_unit_failures=3: two retries absorbed before quarantine.
+        assert metrics["retries_total"] >= 2
+
+    def test_new_stats_keys_do_not_skew_cache_hit_rate(self, server):
+        status, receipt, _ = _post(server, json.dumps(_payload()).encode())
+        assert status == 202
+        self._wait_terminal(server, receipt["id"])
+        status, metrics, _ = server.dispatch("GET", "/metrics", None)
+        engine = metrics["engine"]
+        lookups = (
+            engine["memory_hits"] + engine["store_hits"] + engine["computed"]
+        )
+        # One computed lookup, zero hits: the robustness counters must
+        # not appear in the hit-rate denominator.
+        assert lookups == 1
+        assert metrics["engine_cache_hit_rate"] == 0.0
+
+
+class TestInjectedServiceFaults:
+    """Failpoints at the HTTP boundary and the journal's write path."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        from repro import faults
+
+        faults.clear()
+        yield
+        faults.clear()
+
+    def test_journal_write_failure_rejects_job_with_503(self, server):
+        from repro import faults
+
+        faults.install("journal.append=error:n=1")
+        status, payload, headers = _post(
+            server, json.dumps(_payload()).encode()
+        )
+        assert status == 503
+        assert "not admitted" in payload["error"]
+        assert headers.get("Retry-After") == "1"
+        faults.clear()
+        # The rejected job left no trace: a retry admits cleanly and
+        # the journal replays nothing spurious after a restart.
+        status, receipt, _ = _post(server, json.dumps(_payload()).encode())
+        assert status == 202
+
+    def test_injected_5xx_responses_are_absorbed_by_client_retries(self, server):
+        from repro import faults
+
+        faults.install("server.response=error:n=1")
+        client = ServiceClient(server.url, retries=3, backoff=0.01)
+        assert client.healthz()["status"] == "ok"
+
+    def test_injected_dropped_connection_is_absorbed_by_client_retries(self, server):
+        from repro import faults
+
+        faults.install("server.response=drop:n=1")
+        client = ServiceClient(server.url, retries=3, backoff=0.01)
+        assert client.healthz()["status"] == "ok"

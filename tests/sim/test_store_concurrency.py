@@ -76,7 +76,7 @@ class TestConcurrentWriters:
         for key in keys:
             payload = store.get_payload(key)
             assert payload is not None
-            assert set(payload) == {"config", "result"}
+            assert set(payload) == {"config", "result", "sha256"}
             assert store.get_by_key(key) is not None
 
     def test_no_leftover_temp_files(self, tmp_path):
