@@ -146,6 +146,13 @@ class ChaosTrial:
     verified_results: int = 0
     violations: List[str] = field(default_factory=list)
     duration_s: float = 0.0
+    #: Job id -> trace id for the jobs of a violating trial, so the
+    #: violated invariant can be chased through span timelines and
+    #: structured logs of a rerun.
+    trace_ids: Dict[str, str] = field(default_factory=dict)
+    #: Condensed span timeline of the killed-and-restarted window
+    #: (kill9 trials): the restarted server's ring, name/trace/ts/dur.
+    span_timeline: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -161,7 +168,31 @@ class ChaosTrial:
             "verified_results": self.verified_results,
             "violations": list(self.violations),
             "duration_s": round(self.duration_s, 3),
+            "trace_ids": dict(self.trace_ids),
+            "span_timeline": list(self.span_timeline),
         }
+
+
+#: Spans kept in a kill9 trial's condensed timeline.
+_TIMELINE_CAP = 200
+
+
+def _condense_timeline(
+    payload: Dict[str, object], cap: int = _TIMELINE_CAP
+) -> List[Dict[str, object]]:
+    """A ``/v1/trace`` payload reduced to report-sized span rows."""
+    timeline: List[Dict[str, object]] = []
+    for event in payload.get("traceEvents", [])[:cap]:
+        span_args = event.get("args") or {}
+        timeline.append(
+            {
+                "name": event.get("name"),
+                "trace_id": span_args.get("trace_id"),
+                "ts_s": round(event.get("ts", 0) / 1e6, 6),
+                "dur_s": round(event.get("dur", 0) / 1e6, 6),
+            }
+        )
+    return timeline
 
 
 def _baseline(configs: List[SimulationConfig]) -> Dict[str, dict]:
@@ -308,6 +339,15 @@ def _fault_trial(seed: int, n_instructions: int, timeout_s: float) -> ChaosTrial
                 f"for {len(baseline)} unique units"
             )
 
+        if trial.violations:
+            # Cite the trial's trace ids so the violating jobs' spans
+            # and structured log lines of a seeded rerun can be pulled
+            # by id.
+            for receipt in receipts:
+                trace_id = client.trace_id_for(receipt["id"])
+                if trace_id:
+                    trial.trace_ids[receipt["id"]] = trace_id
+
         server.stop()
         server = None
         # After a clean drain with every job terminal, replay must be
@@ -396,6 +436,8 @@ def _kill9_trial(seed: int, n_instructions: int, timeout_s: float) -> ChaosTrial
     tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
     proc: Optional[subprocess.Popen] = None
     pgids: list = []
+    job_id: Optional[str] = None
+    submit_trace: Optional[str] = None
     try:
         proc = _spawn_server(tmp, tmp / "ready-1")
         pgids.append(proc.pid)
@@ -403,6 +445,7 @@ def _kill9_trial(seed: int, n_instructions: int, timeout_s: float) -> ChaosTrial
         client = ServiceClient(url, timeout=10.0, retries=6, backoff=0.1)
         receipt = client.submit_batch(configs)
         job_id = receipt["id"]
+        submit_trace = client.trace_id_for(job_id)
 
         # Give execution a moment to start, then kill -9 mid-unit.
         poll_deadline = time.monotonic() + 10.0
@@ -465,6 +508,14 @@ def _kill9_trial(seed: int, n_instructions: int, timeout_s: float) -> ChaosTrial
             else:
                 trial.verified_results += 1
 
+        # The killed-and-restarted window's span timeline: what the
+        # restarted server did between journal replay and drain
+        # (re-admission, queue wait, unit execution, chunks).
+        try:
+            trial.span_timeline = _condense_timeline(client.trace())
+        except (ServiceError, ServiceUnavailable):
+            pass
+
         # Graceful drain, then the journal must replay exactly nothing.
         proc.send_signal(signal.SIGTERM)
         proc.wait(timeout=30.0)
@@ -492,6 +543,8 @@ def _kill9_trial(seed: int, n_instructions: int, timeout_s: float) -> ChaosTrial
             except (ProcessLookupError, PermissionError):
                 pass
         shutil.rmtree(tmp, ignore_errors=True)
+    if trial.violations and job_id and submit_trace:
+        trial.trace_ids[job_id] = submit_trace
     trial.duration_s = time.monotonic() - started
     return trial
 

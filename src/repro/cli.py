@@ -24,6 +24,8 @@ Reproduce the paper from a shell::
     python -m repro run --benchmark gcc --dcache gated --server http://127.0.0.1:8023
     python -m repro loadgen --server http://127.0.0.1:8023 --rate 20 --duration 5
     python -m repro loadgen --server http://127.0.0.1:8023 --sweep 5,10,20,40
+    python -m repro trace --server http://127.0.0.1:8023 --out spans.json
+    python -m repro profile --benchmark gcc --instructions 50000
 
 Every subcommand accepts ``--json`` for machine-readable output; run and
 sweep results are full :meth:`~repro.sim.metrics.RunResult.to_dict`
@@ -248,9 +250,33 @@ def build_parser() -> argparse.ArgumentParser:
     add_bench_arguments(bench)
 
     trace = subparsers.add_parser(
-        "trace", help="record or inspect compressed .trace.gz micro-op traces"
+        "trace",
+        help="fetch a live service's span timeline as Chrome trace JSON, "
+        "or record/inspect compressed .trace.gz micro-op traces",
     )
-    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace.add_argument(
+        "--server", metavar="URL", default=None,
+        help="service base URL; fetches the span timeline (open the JSON "
+        "in Perfetto / chrome://tracing)",
+    )
+    trace.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the trace JSON to PATH instead of stdout",
+    )
+    trace.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for new spans until interrupted (with --out "
+        "the file is rewritten each poll; otherwise spans print as lines)",
+    )
+    trace.add_argument(
+        "--since", type=int, default=None, metavar="SEQ",
+        help="only spans recorded after ring sequence number SEQ",
+    )
+    trace.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="poll interval for --follow in seconds (default: 1.0)",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=False)
     record = trace_commands.add_parser(
         "record", help="record a workload prefix to a trace file"
     )
@@ -268,6 +294,25 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("path", help="trace file to inspect")
     info.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON on stdout"
+    )
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="attribute fast-path kernel wall time to pipeline stages "
+        "(compile, quiet-skip, fetch, issue-scan, cache)",
+    )
+    profile.add_argument(
+        "--benchmark", default="gcc",
+        help="benchmark or scenario name (default: gcc)",
+    )
+    _add_config_arguments(profile)
+    profile.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="aggregate the profile over N runs (default: 1)",
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON on stdout",
     )
 
     fuzz = subparsers.add_parser(
@@ -608,9 +653,74 @@ def _cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_span_trace(args: argparse.Namespace, payload: dict) -> None:
+    text = json.dumps(payload, indent=1)
+    if args.out is None:
+        print(text)
+    else:
+        from pathlib import Path
+
+        try:
+            Path(args.out).write_text(text + "\n")
+        except OSError as error:
+            raise ValueError(f"cannot write {args.out}: {error}") from None
+
+
+def _trace_timeline(args: argparse.Namespace) -> int:
+    """``repro trace --server URL``: the live span timeline as Chrome JSON."""
+    import time
+
+    client = _client(args)
+    payload = client.trace(since=args.since)
+    if not args.follow:
+        _write_span_trace(args, payload)
+        return 0
+    events = list(payload.get("traceEvents", []))
+    last_seq = payload.get("reproLastSeq", 0)
+    dropped = payload.get("reproDropped", 0)
+
+    def emit(new_events: list) -> None:
+        if args.out is not None:
+            merged = dict(payload)
+            merged["traceEvents"] = events
+            merged["reproLastSeq"] = last_seq
+            merged["reproDropped"] = dropped
+            _write_span_trace(args, merged)
+            return
+        for event in new_events:
+            span_args = event.get("args", {})
+            print(
+                f"{event.get('ts', 0) / 1e6:14.3f}s "
+                f"{event.get('dur', 0) / 1e3:10.3f}ms "
+                f"{event.get('name', '?'):12s} "
+                f"trace={span_args.get('trace_id', '-')}",
+                flush=True,
+            )
+
+    try:
+        emit(events)
+        while True:
+            time.sleep(args.interval)
+            update = client.trace(since=last_seq)
+            new_events = update.get("traceEvents", [])
+            events.extend(new_events)
+            last_seq = update.get("reproLastSeq", last_seq)
+            dropped = update.get("reproDropped", dropped)
+            emit(new_events)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.workloads.tracefile import read_trace_meta, record_benchmark
 
+    if args.trace_command is None:
+        if args.server is None:
+            raise ValueError(
+                "repro trace needs --server URL (live span timeline) or a "
+                "subcommand: record, info"
+            )
+        return _trace_timeline(args)
     if args.trace_command == "record":
         _validate_user_input([args.benchmark], None)
         try:
@@ -632,6 +742,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         for key in sorted(meta):
             print(f"{key:12s} {meta[key]}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro.obs import profile as obs_profile
+    from repro.sim.fastpath import execute_run_fast
+
+    if args.repeat < 1:
+        raise ValueError("--repeat must be positive")
+    _validate_user_input([args.benchmark], args.feature_size)
+    config = _make_config(args)
+    obs_profile.install()
+    try:
+        wall_start = perf_counter()
+        for _ in range(args.repeat):
+            execute_run_fast(config)
+        wall_s = perf_counter() - wall_start
+        snapshot = obs_profile.snapshot(reset=True)
+    finally:
+        obs_profile.clear()
+    if snapshot is None:  # pragma: no cover - install() above guarantees it
+        snapshot = {"runs": 0, "phases": {}}
+    phases = snapshot["phases"]
+    attributed = sum(
+        entry["seconds"] for name, entry in phases.items() if name != "cache"
+    )
+    payload = {
+        "benchmark": args.benchmark,
+        "instructions": args.instructions,
+        "runs": snapshot["runs"],
+        "wall_s": round(wall_s, 6),
+        "attributed_s": round(attributed, 6),
+        "phases": phases,
+    }
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(
+        f"kernel profile: {args.benchmark}, {args.instructions} "
+        f"instruction(s) x {snapshot['runs']} run(s)"
+    )
+    print(f"{'phase':12s} {'seconds':>10s} {'% wall':>8s} {'events':>10s}")
+    for name in obs_profile.PHASES:
+        entry = phases.get(name, {"seconds": 0.0, "events": 0})
+        share = 100.0 * entry["seconds"] / wall_s if wall_s > 0 else 0.0
+        print(
+            f"{name:12s} {entry['seconds']:10.6f} {share:7.1f}% "
+            f"{entry['events']:10d}"
+        )
+    print(f"{'wall':12s} {wall_s:10.6f} {100.0:7.1f}%")
+    print(
+        "note: cache time also lies inside the fetch/issue-scan phases "
+        "(hierarchy accesses happen there); the other phases are disjoint."
+    )
     return 0
 
 
@@ -721,6 +887,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         for violation in trial.violations:
             print(f"{'':13s} {violation}", flush=True)
+        if trial.trace_ids:
+            ids = ", ".join(
+                f"{job}={tid}" for job, tid in sorted(trial.trace_ids.items())
+            )
+            print(f"{'':13s} trace ids: {ids}", flush=True)
 
     report = run_campaign(
         budget=args.budget,
@@ -910,6 +1081,7 @@ _COMMANDS = {
     "policies": _cmd_policies,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "fuzz": _cmd_fuzz,
     "chaos": _cmd_chaos,
     "loadgen": _cmd_loadgen,

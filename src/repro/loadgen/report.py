@@ -58,6 +58,21 @@ def format_report(report: LoadReport) -> str:
     ]
     if row["coalesce_rate"] is not None:
         lines.append(f"  coalesce  {row['coalesce_rate']:.3f}")
+    delta = row.get("metrics_delta") or {}
+    if delta:
+        # The server's own /v1/metrics counter delta across the run, so
+        # client-side counts can be cross-checked against what the
+        # service says it admitted and executed.
+        lines.append(
+            f"  server Δ  jobs +{delta.get('jobs_submitted', 0)} submitted, "
+            f"+{delta.get('jobs_rejected', 0)} rejected"
+        )
+        lines.append(
+            f"            units +{delta.get('units_requested', 0)} requested: "
+            f"{delta.get('units_executed', 0)} executed, "
+            f"{delta.get('units_cached', 0)} cached, "
+            f"{delta.get('units_coalesced', 0)} coalesced"
+        )
     if row["identity"]["checked"]:
         lines.append(
             f"  identity  {row['identity']['checked']} sampled config(s): "

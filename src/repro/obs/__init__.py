@@ -1,0 +1,44 @@
+"""``repro.obs`` — observability: tracing, profiling, exporters, logs.
+
+Four small modules, all sharing the :mod:`repro.faults` discipline of
+being fast no-ops until armed:
+
+* :mod:`repro.obs.trace` — span model, trace-context propagation
+  (``X-Repro-Trace``), and the bounded in-process span ring;
+* :mod:`repro.obs.export` — Chrome-trace-event (Perfetto) JSON and
+  Prometheus text exposition;
+* :mod:`repro.obs.profile` — the opt-in kernel phase profiler
+  (compile / quiet-skip / fetch / issue-scan / cache attribution);
+* :mod:`repro.obs.log` — structured JSON log lines carrying trace ids.
+
+See ``docs/observability.md`` for the end-to-end walkthrough.
+"""
+
+from . import export, log, profile, trace
+from .trace import (
+    HEADER,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    format_header,
+    new_span_id,
+    new_trace_id,
+    parse_header,
+    record_span,
+)
+
+__all__ = [
+    "HEADER",
+    "Span",
+    "SpanRecorder",
+    "TraceContext",
+    "export",
+    "format_header",
+    "log",
+    "new_span_id",
+    "new_trace_id",
+    "parse_header",
+    "profile",
+    "record_span",
+    "trace",
+]

@@ -1,0 +1,74 @@
+"""Structured JSON logging that carries trace ids.
+
+One function — :func:`event` — emits a single JSON object per line to a
+configurable stream (stderr by default), so server, scheduler, chaos
+and loadgen lines are machine-parseable and joinable on ``trace_id``::
+
+    {"ts": 1754600000.123, "event": "job.finished", "trace_id": "ab..",
+     "job_id": "j-1", "status": "done"}
+
+Logging is off by default and costs one global load plus a branch per
+call when off (the same discipline as :mod:`repro.faults` and the span
+recorder).  Enable programmatically (:func:`enable`) or with
+``REPRO_OBS_LOG=1`` in the environment, read at import so subprocess
+servers inherit it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Optional, TextIO
+
+__all__ = ["ENV_VAR", "disable", "enable", "enabled", "event"]
+
+ENV_VAR = "REPRO_OBS_LOG"
+
+_STREAM: Optional[TextIO] = None
+_LOCK = threading.Lock()
+
+
+def enable(stream: Optional[TextIO] = None) -> None:
+    """Turn structured logging on (stderr unless ``stream`` is given)."""
+    global _STREAM
+    _STREAM = stream if stream is not None else sys.stderr
+
+
+def disable() -> None:
+    """Turn structured logging off (idempotent)."""
+    global _STREAM
+    _STREAM = None
+
+
+def enabled() -> bool:
+    return _STREAM is not None
+
+
+def event(name: str, trace_id: Optional[str] = None, **fields: Any) -> None:
+    """Emit one JSON log line; a fast no-op while logging is off."""
+    stream = _STREAM
+    if stream is None:
+        return
+    record = {"ts": round(time.time(), 3), "event": name}
+    if trace_id:
+        record["trace_id"] = trace_id
+    record.update(fields)
+    try:
+        line = json.dumps(record, default=str)
+    except (TypeError, ValueError):  # never let logging break the caller
+        line = json.dumps({"ts": record["ts"], "event": name,
+                           "error": "unserializable-fields"})
+    with _LOCK:
+        try:
+            stream.write(line + "\n")
+            stream.flush()
+        except (OSError, ValueError):  # closed/broken stream: drop the line
+            pass
+
+
+# Subprocess activation, like repro.faults.
+if os.environ.get(ENV_VAR):
+    enable()

@@ -34,6 +34,7 @@ from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro import faults
+from repro.obs import trace as obs_trace
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import RunResult
 from repro.workloads.characteristics import benchmark_names
@@ -52,6 +53,9 @@ MAX_BACKOFF_S = 30.0
 
 #: Job states the server will never change again (wire constants).
 _TERMINAL = ("done", "failed", "cancelled", "poisoned")
+
+#: Most recent job-id → trace-id pairs a client remembers.
+_TRACE_MEMORY = 4096
 
 
 class ServiceError(RuntimeError):
@@ -138,12 +142,22 @@ class ServiceClient:
         self._sleep = sleep
         self._clock = clock
         self._rng = rng if rng is not None else random.Random()
+        #: job id -> the trace id this client minted at submission
+        #: (bounded: oldest forgotten beyond _TRACE_MEMORY entries).
+        self._trace_ids: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request_headers = {"Content-Type": "application/json"}
+        if headers:
+            request_headers.update(headers)
         delay = self.backoff
         last_error = "no attempts made"
         started = self._clock()
@@ -152,7 +166,7 @@ class ServiceClient:
                 self.base_url + path,
                 data=body,
                 method=method,
-                headers={"Content-Type": "application/json"},
+                headers=request_headers,
             )
             try:
                 _injected_transport_fault()
@@ -236,8 +250,40 @@ class ServiceClient:
     # Raw endpoints
     # ------------------------------------------------------------------
     def submit(self, payload: dict) -> Dict[str, Any]:
-        """POST a raw job payload; returns the admission receipt."""
-        return self._request("POST", "/v1/jobs", payload)
+        """POST a raw job payload; returns the admission receipt.
+
+        Every submission mints a trace context and sends it in the
+        ``X-Repro-Trace`` header (trace id, root span id, epoch-ms send
+        time), so the server records a ``client.submit`` root span and
+        threads the trace id through the job's whole execution.  The
+        minted id is remembered per job id — :meth:`trace_id_for` — so
+        drivers (chaos, loadgen) can cite it in their reports.  Retries
+        reuse the same context: one logical submission, one trace.
+        """
+        ctx = obs_trace.TraceContext(
+            trace_id=obs_trace.new_trace_id(),
+            span_id=obs_trace.new_span_id(),
+            t_ms=int(time.time() * 1000),
+        )
+        receipt = self._request(
+            "POST", "/v1/jobs", payload,
+            headers={obs_trace.HEADER: ctx.header()},
+        )
+        job_id = receipt.get("id")
+        if job_id:
+            self._trace_ids[job_id] = ctx.trace_id
+            while len(self._trace_ids) > _TRACE_MEMORY:
+                self._trace_ids.pop(next(iter(self._trace_ids)))
+        return receipt
+
+    def trace_id_for(self, job_id: str) -> Optional[str]:
+        """The trace id minted when this client submitted ``job_id``."""
+        return self._trace_ids.get(job_id)
+
+    def trace(self, since: Optional[int] = None) -> Dict[str, Any]:
+        """GET ``/v1/trace``: the server's span ring as Chrome-trace JSON."""
+        path = "/v1/trace" if since is None else f"/v1/trace?since={int(since)}"
+        return self._request("GET", path)
 
     def submit_run(
         self,

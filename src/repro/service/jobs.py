@@ -190,6 +190,9 @@ class Job:
             "priority": self.priority,
             "units": len(self.configs),
             "error": self.error,
+            # Runtime-only (minted at admission, never journaled):
+            # replayed jobs re-mint on re-admission.
+            "trace_id": getattr(self, "trace_id", None),
         }
 
 

@@ -71,6 +71,9 @@ class Unit:
     jobs: Set[str] = field(default_factory=set)
     #: Execution failures so far (drives retry-then-quarantine).
     failures: int = 0
+    #: Trace ids of every job that requested this unit (coalesced jobs
+    #: share the execution, so a unit can belong to several traces).
+    trace_ids: Set[str] = field(default_factory=set)
 
 
 @dataclass(frozen=True)
@@ -168,6 +171,7 @@ class JobBoard:
             job.submitted_at = time.time()  # type: ignore[attr-defined]
             job.finished_at = None  # type: ignore[attr-defined]
             coalesced = cached = 0
+            trace_id = getattr(job, "trace_id", None)
             seen: Set[str] = set()
             for key, config in zip(unit_keys, job.configs):
                 if key in seen:
@@ -176,6 +180,8 @@ class JobBoard:
                 unit = self._units.get(key)
                 if unit is not None and unit.status in ("pending", "running"):
                     unit.jobs.add(job.id)
+                    if trace_id:
+                        unit.trace_ids.add(trace_id)
                     job.pending.add(key)
                     coalesced += 1
                     continue
@@ -184,6 +190,8 @@ class JobBoard:
                     continue
                 unit = Unit(key=key, config=config)
                 unit.jobs.add(job.id)
+                if trace_id:
+                    unit.trace_ids.add(trace_id)
                 self._units[key] = unit
                 job.pending.add(key)
 
@@ -562,6 +570,7 @@ class JobBoard:
             payload["pending_units"] = len(pending)
             payload["submitted_at"] = getattr(job, "submitted_at", None)
             payload["finished_at"] = getattr(job, "finished_at", None)
+            payload["trace_id"] = getattr(job, "trace_id", None)
         if include_results:
             results: Dict[str, Any] = {}
             if job.status != "failed":

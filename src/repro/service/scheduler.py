@@ -39,6 +39,8 @@ import time
 from typing import List, Optional
 
 from repro import faults
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
 from repro.sim.engine import RunCancelled, SimEngine
 
 from .jobs import Job
@@ -126,6 +128,22 @@ class Scheduler:
                 timer = threading.Timer(remaining, cancel.set)
                 timer.daemon = True
                 timer.start()
+        # The queue-wait span: submission to this claim.  Both ends come
+        # from the board's own wall-clock stamps, so the span is exact
+        # even when the scheduler was busy with earlier jobs.
+        submitted_at = getattr(job, "submitted_at", None)
+        started_at = getattr(job, "started_at", None)
+        trace_id = getattr(job, "trace_id", None)
+        root_span = getattr(job, "root_span_id", None)
+        if submitted_at is not None and started_at is not None:
+            wait = max(0.0, started_at - submitted_at)
+            if self.telemetry is not None:
+                self.telemetry.observe_queue_wait(wait)
+            obs_trace.record_span(
+                "job.wait", submitted_at, wait,
+                trace_id=trace_id, parent_id=root_span,
+                attrs={"job_id": job.id},
+            )
         try:
             if cancel.is_set():
                 self.board.finish_cancelled(job)
@@ -143,6 +161,13 @@ class Scheduler:
     def _run_units(self, job: Job, units: List[Unit], cancel: threading.Event) -> None:
         configs = [unit.config for unit in units]
         started = time.monotonic()
+        started_wall = time.time()
+        trace_id = getattr(job, "trace_id", None) or obs_trace.new_trace_id()
+        exec_span = obs_trace.new_span_id()
+        # Bind the thread-local context so the engine's chunk spans can
+        # parent themselves to this unit-execution span without any API
+        # change through run_many.
+        obs_trace.set_current(trace_id, exec_span)
         try:
             # The scheduler.unit failpoint models executor death before
             # the engine ever runs ("raise", exercising the unit
@@ -158,6 +183,7 @@ class Scheduler:
         except RunCancelled:
             self._recover_cancelled(job, units)
             self.board.finish_cancelled(job)
+            obs_log.event("job.cancelled", trace_id=trace_id, job_id=job.id)
             return
         except Exception as error:  # noqa: BLE001 - the thread must survive
             message = f"{type(error).__name__}: {error}"
@@ -175,11 +201,28 @@ class Scheduler:
                     self.telemetry.bump("unit_retries", retried)
                 if quarantined:
                     self.telemetry.bump("units_quarantined", quarantined)
+            obs_log.event(
+                "job.units_failed", trace_id=trace_id, job_id=job.id,
+                error=message, retried=retried, quarantined=quarantined,
+            )
             return
+        finally:
+            obs_trace.clear_current()
         elapsed = time.monotonic() - started
         per_unit = elapsed / max(len(units), 1)
         if self.telemetry is not None:
             self.telemetry.bump("units_executed", len(units))
+            self.telemetry.observe_unit_exec(per_unit, units=len(units))
+        obs_trace.record_span(
+            "unit.exec", started_wall, elapsed,
+            trace_id=trace_id, span_id=exec_span,
+            parent_id=getattr(job, "root_span_id", None),
+            attrs={"job_id": job.id, "units": len(units)},
+        )
+        obs_log.event(
+            "job.units_executed", trace_id=trace_id, job_id=job.id,
+            units=len(units), elapsed_s=round(elapsed, 6),
+        )
         for unit, result in zip(units, results):
             self.board.complete_unit(unit.key, result, elapsed=per_unit)
 

@@ -17,9 +17,22 @@ GET      ``/v1/policies``           The policy registry
 GET      ``/healthz``               Liveness (503 while draining)
 GET      ``/metrics``               Queue depth (total and per priority),
                                     cache/coalesce rate, jobs/sec,
-                                    rolling 429 rate, p50/p95 job latency
+                                    rolling 429 rate, latency percentiles
+                                    and histograms;
+                                    ``?format=prom`` renders the same
+                                    snapshot as Prometheus text exposition
 GET      ``/v1/metrics``            Alias for ``/metrics``
+GET      ``/v1/trace``              Recent spans as Chrome-trace JSON
+                                    (Perfetto-loadable);
+                                    ``?since=SEQ`` returns only newer spans
 =======  =========================  ===========================================
+
+Submissions may carry an ``X-Repro-Trace: <trace>-<span>-<t_ms>``
+header (minted by :class:`repro.service.client.ServiceClient`); the
+server then records an honest ``client.submit`` root span and threads
+the trace id through the job, its units, the scheduler spans and the
+engine's chunk spans — all collected in a bounded in-process ring
+served by ``/v1/trace``.
 
 Error mapping: malformed JSON or structure → 400; unknown
 policy/benchmark/node → 422 with the registry's message; queue full →
@@ -40,11 +53,16 @@ import logging
 import re
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs
 
 from repro import faults
+from repro.obs import export as obs_export
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
 from repro.core.registry import get_policy_info, policy_names
 from repro.sim.engine import SimEngine
 
@@ -52,7 +70,7 @@ from .jobs import Job, JobError, parse_job_payload
 from .journal import JobJournal
 from .queue import JobBoard, QueueFull
 from .scheduler import Scheduler
-from .telemetry import Telemetry
+from .telemetry import HISTOGRAM_BOUNDS, Histogram, Telemetry
 
 __all__ = ["ServiceServer", "policies_payload"]
 
@@ -120,6 +138,13 @@ class ServiceServer:
             else journal
         )
         self.board.on_job_finished = self._job_finished
+        # Tracing is always on server-side: the ring is bounded and a
+        # span record is a deque append, negligible next to a unit
+        # execution.  Installing here makes this server the process's
+        # span sink (the scheduler and engine record through the module
+        # global), which is exactly right for the one-server-per-process
+        # production topology and for in-process chaos/tests.
+        self.spans = obs_trace.install_recorder()
         self.scheduler = Scheduler(self.board, self.engine, self.telemetry)
         self._draining = threading.Event()
         self._stopped = threading.Event()
@@ -246,25 +271,41 @@ class ServiceServer:
     # Routing (transport-free; tests call this directly)
     # ------------------------------------------------------------------
     def dispatch(
-        self, method: str, path: str, body: Optional[bytes] = None
-    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        """Handle one request; returns ``(status, payload, headers)``."""
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Any] = None,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """Handle one request; returns ``(status, payload, headers)``.
+
+        ``payload`` is a JSON-serialisable dict for every endpoint but
+        ``/metrics?format=prom``, which returns pre-rendered text.
+        ``headers`` (when given) is any mapping with ``.get`` — the
+        HTTP handler passes the request headers so the trace context
+        in ``X-Repro-Trace`` propagates; tests may omit it.
+        """
         self.telemetry.bump("http_requests")
         try:
-            status, payload, headers = self._route(method, path, body)
+            status, payload, out_headers = self._route(method, path, body, headers)
         except Exception as error:  # noqa: BLE001 - must answer, not die
             log.exception("unhandled error for %s %s", method, path)
             status = 500
             payload = {"error": f"internal error: {type(error).__name__}"}
-            headers = {}
+            out_headers = {}
         if status >= 400:
             self.telemetry.bump("http_errors")
-        return status, payload, headers
+        return status, payload, out_headers
 
     def _route(
-        self, method: str, path: str, body: Optional[bytes]
-    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        path = path.split("?", 1)[0]
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        request_headers: Optional[Any] = None,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        path, _, query = path.partition("?")
+        params = parse_qs(query) if query else {}
         if path == "/healthz":
             if self._draining.is_set():
                 return 503, {"status": "draining"}, {}
@@ -274,12 +315,36 @@ class ServiceServer:
                 "queue_depth": self.board.depth(),
             }, {}
         if path in ("/metrics", "/v1/metrics"):
-            return 200, self._metrics(), {}
+            metrics = self._metrics()
+            if params.get("format", [""])[0] == "prom":
+                return 200, obs_export.prometheus_text(metrics), {
+                    "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+                }
+            return 200, metrics, {}
+        if path == "/v1/trace":
+            since: Optional[int] = None
+            raw_since = params.get("since", [""])[0]
+            if raw_since:
+                try:
+                    since = int(raw_since)
+                except ValueError:
+                    return 400, {"error": f"bad since value {raw_since!r}"}, {}
+            spans = self.spans.spans(since=since)
+            return 200, obs_export.chrome_trace(
+                spans,
+                last_seq=self.spans.last_seq(),
+                dropped=self.spans.dropped,
+            ), {}
         if path == "/v1/policies":
             return 200, {"policies": policies_payload()}, {}
         if path == "/v1/jobs":
             if method == "POST":
-                return self._submit(body)
+                ctx = obs_trace.parse_header(
+                    request_headers.get(obs_trace.HEADER)
+                    if request_headers is not None
+                    else None
+                )
+                return self._submit(body, ctx)
             if method == "GET":
                 jobs = [job.summary() for job in self.board.jobs()]
                 return 200, {"jobs": jobs, "queue_depth": self.board.depth()}, {}
@@ -306,7 +371,10 @@ class ServiceServer:
             return 200, {"key": key, "result": result}, {}
         return 404, {"error": f"no such endpoint: {method} {path}"}, {}
 
-    def _submit(self, body: Optional[bytes]) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+    def _submit(
+        self, body: Optional[bytes], ctx: Optional[obs_trace.TraceContext] = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        admit_start = time.time()
         if self._draining.is_set():
             return 503, {"error": "server is draining"}, {"Retry-After": "5"}
         if not body:
@@ -339,6 +407,12 @@ class ServiceServer:
                 return 503, {
                     "error": f"journal write failed; job not admitted: {error}"
                 }, {"Retry-After": "1"}
+        # Trace identity rides on the job as runtime attributes (never
+        # journaled): the board tags units with it at admission, the
+        # scheduler parents its spans to it.  A client-minted context
+        # wins; otherwise the server mints a root of its own.
+        job.trace_id = ctx.trace_id if ctx else obs_trace.new_trace_id()
+        job.root_span_id = ctx.span_id if ctx else obs_trace.new_span_id()
         try:
             receipt = self.board.submit(job)
         except QueueFull as error:
@@ -359,6 +433,37 @@ class ServiceServer:
             return 409, {"error": str(error)}, {}
         self.telemetry.bump("units_cached", receipt.cached)
         self.telemetry.bump("units_coalesced", receipt.coalesced)
+        admit_end = time.time()
+        attrs = {
+            "job_id": job.id,
+            "units": len(job.configs),
+            "cached": receipt.cached,
+            "coalesced": receipt.coalesced,
+            "priority": job.priority,
+        }
+        if ctx is not None:
+            # The root span starts at the client's send time (same-host
+            # clocks in the CI topology; across hosts the root absorbs
+            # the skew and the server-side children stay exact).
+            root_start = min(ctx.t_ms / 1000.0, admit_start)
+            obs_trace.record_span(
+                "client.submit", root_start, admit_end - root_start,
+                trace_id=job.trace_id, span_id=job.root_span_id, attrs=attrs,
+            )
+            obs_trace.record_span(
+                "server.admit", admit_start, admit_end - admit_start,
+                trace_id=job.trace_id, parent_id=job.root_span_id, attrs=attrs,
+            )
+        else:
+            obs_trace.record_span(
+                "server.admit", admit_start, admit_end - admit_start,
+                trace_id=job.trace_id, span_id=job.root_span_id, attrs=attrs,
+            )
+        obs_log.event(
+            "job.submitted", trace_id=job.trace_id, job_id=job.id,
+            units=len(job.configs), cached=receipt.cached,
+            coalesced=receipt.coalesced,
+        )
         return 202, receipt.to_dict(), {}
 
     def _void_journal_entry(self, job: Job, reason: str) -> None:
@@ -418,6 +523,16 @@ class ServiceServer:
             store.stats.get("corrupt_entries", 0) if store is not None else 0
         )
         metrics["draining"] = self._draining.is_set()
+        # Chunk-latency histogram from the span ring: windowed (the ring
+        # is bounded), unlike the cumulative telemetry histograms — the
+        # exporter's HELP line says so.
+        chunk_hist = Histogram(HISTOGRAM_BOUNDS)
+        for span in self.spans.spans():
+            if span.name == "engine.chunk":
+                chunk_hist.observe(span.duration_s)
+        metrics.setdefault("histograms", {})["chunk_exec_s"] = chunk_hist.as_dict()
+        metrics["spans_recorded"] = self.spans.last_seq()
+        metrics["spans_dropped"] = self.spans.dropped
         return metrics
 
 
@@ -465,14 +580,23 @@ def _make_handler(service: ServiceServer):
                     )
                     return
             status, payload, headers = service.dispatch(
-                self.command, self.path, body
+                self.command, self.path, body, self.headers
             )
             self._send(status, payload, headers)
 
-        def _send(self, status: int, payload: Dict[str, Any], headers: Dict[str, str]) -> None:
-            data = json.dumps(payload).encode("utf-8")
+        def _send(self, status: int, payload: Any, headers: Dict[str, str]) -> None:
+            if isinstance(payload, str):
+                # Pre-rendered text (Prometheus exposition); the route
+                # supplies the content type.
+                data = payload.encode("utf-8")
+                content_type = headers.pop(
+                    "Content-Type", "text/plain; charset=utf-8"
+                )
+            else:
+                data = json.dumps(payload).encode("utf-8")
+                content_type = "application/json"
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             for name, value in headers.items():
                 self.send_header(name, value)

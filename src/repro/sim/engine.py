@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import threading
+import time
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -35,9 +37,11 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import faults
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.circuits.technology import get_technology
 from repro.cpu.pipeline import OutOfOrderPipeline
@@ -145,7 +149,9 @@ def _worker_context():
         return multiprocessing.get_context()
 
 
-def _execute_chunk(payload: Tuple[bool, List[SimulationConfig]]) -> List[RunResult]:
+def _execute_chunk(
+    payload: Tuple[bool, List[SimulationConfig]]
+) -> Tuple[List[RunResult], Dict[str, Any]]:
     """Worker-side entry: run one trace-affine chunk of configurations.
 
     Chunks group configurations that share a compiled trace, so a worker
@@ -154,11 +160,61 @@ def _execute_chunk(payload: Tuple[bool, List[SimulationConfig]]) -> List[RunResu
     fires here, inside the worker: ``crash`` kills the worker process
     (breaking the pool exactly like the OOM killer would), ``raise``
     fails the task, ``hang`` stalls it.
+
+    Returns ``(results, meta)``: the results plus a small span record —
+    wall-clock start, duration, worker pid, and the kernel phase
+    profile when ``repro.obs.profile`` is armed in the worker (``None``
+    otherwise).  The parent turns ``meta`` into an ``engine.chunk``
+    span; fork workers cannot reach the parent's span ring directly, so
+    the measurement rides back alongside the results.
     """
     fast, chunk = payload
     faults.trip("engine.chunk")
     runner = execute_run_fast if fast else execute_run
-    return [runner(config) for config in chunk]
+    start_wall = time.time()
+    start = time.perf_counter()
+    results = [runner(config) for config in chunk]
+    meta = {
+        "start_s": start_wall,
+        "dur_s": time.perf_counter() - start,
+        "pid": os.getpid(),
+        "configs": len(chunk),
+        "profile": obs_profile.snapshot(reset=True),
+    }
+    return results, meta
+
+
+def _record_chunk_span(meta: Optional[Dict[str, Any]]) -> None:
+    """Record one ``engine.chunk`` span from a worker's meta record.
+
+    Parents the span to the scheduler's thread-local unit-execution
+    context when one is bound (the service path); standalone sweeps
+    get free-floating chunk spans under a fresh trace id.  A no-op
+    while no span recorder is installed.
+    """
+    if meta is None or obs_trace.recorder() is None:
+        return
+    ctx = obs_trace.get_current()
+    trace_id = parent_id = None
+    if ctx is not None:
+        trace_id, parent_id = ctx
+    attrs: Dict[str, Any] = {
+        "configs": meta.get("configs", 0),
+        "worker_pid": meta.get("pid", 0),
+    }
+    profile = meta.get("profile")
+    if profile:
+        attrs["kernel_runs"] = profile.get("runs", 0)
+        for name, entry in profile.get("phases", {}).items():
+            attrs[f"phase_{name}_s"] = round(entry.get("seconds", 0.0), 6)
+    obs_trace.record_span(
+        "engine.chunk",
+        meta.get("start_s", time.time()),
+        meta.get("dur_s", 0.0),
+        trace_id=trace_id,
+        parent_id=parent_id,
+        attrs=attrs,
+    )
 
 
 def _estimated_cost(config: SimulationConfig) -> float:
@@ -461,7 +517,20 @@ class SimEngine:
                             f"cancelled with {len(todo) - position} of "
                             f"{len(todo)} configurations outstanding"
                         )
-                    record(position, runner(config))
+                    if obs_trace.recorder() is None:
+                        record(position, runner(config))
+                        continue
+                    start_wall = time.time()
+                    start = time.perf_counter()
+                    result = runner(config)
+                    _record_chunk_span({
+                        "start_s": start_wall,
+                        "dur_s": time.perf_counter() - start,
+                        "pid": os.getpid(),
+                        "configs": 1,
+                        "profile": obs_profile.snapshot(reset=True),
+                    })
+                    record(position, result)
         return results  # type: ignore[return-value]
 
     def _run_parallel(
@@ -504,11 +573,20 @@ class SimEngine:
         """
         recorded: set = set()
 
-        def record_chunk(indices, chunk_results) -> None:
+        def record_chunk(indices, payload) -> None:
+            chunk_results, meta = payload
+            fresh = False
             for index, result in zip(indices, chunk_results):
                 if index not in recorded:
                     recorded.add(index)
                     record(index, result)
+                    fresh = True
+            if fresh:
+                # Only the attempt that actually contributed results
+                # gets a span — a salvage of an already-recorded chunk
+                # (retry races) would otherwise double-count it in the
+                # chunk-latency histogram.
+                _record_chunk_span(meta)
 
         # (indices, chunk, attempt): attempt counts pool submissions.
         max_attempts = self.chunk_retries + 1
@@ -620,7 +698,20 @@ class SimEngine:
                 if cancel is not None and cancel.is_set():
                     raise RunCancelled("cancelled during serial fallback")
                 recorded.add(index)
-                record(index, runner(config))
+                if obs_trace.recorder() is None:
+                    record(index, runner(config))
+                    continue
+                start_wall = time.time()
+                start = time.perf_counter()
+                result = runner(config)
+                _record_chunk_span({
+                    "start_s": start_wall,
+                    "dur_s": time.perf_counter() - start,
+                    "pid": os.getpid(),
+                    "configs": 1,
+                    "profile": obs_profile.snapshot(reset=True),
+                })
+                record(index, result)
 
     @staticmethod
     def _make_chunks(

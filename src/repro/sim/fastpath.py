@@ -62,6 +62,7 @@ from collections import deque
 from hashlib import sha256
 from itertools import islice
 from pathlib import Path
+from time import perf_counter as _perf
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 try:  # numpy is optional: it backs typed-array export and the disk cache
@@ -78,6 +79,7 @@ from repro.core.policies import BasePrechargePolicy
 from repro.cpu.branch_predictor import DEFAULT_HISTORY_BITS, DEFAULT_TABLE_BITS
 from repro.cpu.stats import PipelineStats
 from repro.energy.cache_energy import combine_run_energy
+from repro.obs import profile as _obs_profile
 from repro.workloads.trace import (
     EXECUTION_LATENCY,
     MicroOp,
@@ -859,7 +861,7 @@ class _FastCache:
         "_offset_bits", "_n_sets", "_assoc", "_sets_per_subarray",
         "_next_is_fast", "_remap", "_note_outcome", "_policy_access",
         "_policy_on_access", "_policy_stats", "_policy_last",
-        "_accesses_flushed",
+        "_accesses_flushed", "_prof",
     )
 
     def __init__(
@@ -932,12 +934,22 @@ class _FastCache:
         self.penalty_cycles = 0
         self._last_cycle = 0
         self._accesses_flushed = False
+        # Armed kernel profiler, or None.  Bound once at construction:
+        # the chunk that builds the hierarchy is the chunk that runs it.
+        self._prof = _obs_profile.active()
 
     # ------------------------------------------------------------------
     def access(
         self, address: int, cycle: int, write: bool, base_address: Optional[int]
     ) -> Tuple[bool, int, int]:
         """One access; returns ``(hit, latency, precharge_penalty)``."""
+        prof = self._prof
+        if prof is not None:
+            # Depth-counted: nested next-level accesses (miss service,
+            # writebacks) bill only the outermost frame, so cache time
+            # is wall time spent inside the hierarchy, not a multiple.
+            prof.cache_depth += 1
+            _cache_t0 = _perf()
         if cycle < self._last_cycle:
             cycle = self._last_cycle
         else:
@@ -1039,6 +1051,11 @@ class _FastCache:
         note_outcome = self._note_outcome
         if note_outcome is not None:
             note_outcome(hit, cycle)
+        if prof is not None:
+            prof.cache_accesses += 1
+            prof.cache_depth -= 1
+            if prof.cache_depth == 0:
+                prof.cache_s += _perf() - _cache_t0
         return hit, latency, penalty
 
     def _service_miss(self, address: int, cycle: int) -> int:
@@ -1098,6 +1115,11 @@ def _simulate(
     """
     if n_instructions < 1:
         raise ValueError("must simulate at least one instruction")
+
+    # Armed kernel profiler, or None; hoisted so each stage guard is a
+    # single local test (the same two-instruction no-op discipline as
+    # repro.faults when disarmed).
+    prof = _obs_profile.active()
 
     # Trace columns (the lists grow in place, so aliases stay valid).
     t_kind = trace.kind
@@ -1237,6 +1259,8 @@ def _simulate(
 
         # ---------------------------- issue -----------------------------
         if iq_waiting and cycle >= iq_min_wake:
+            if prof is not None:
+                _issue_t0 = _perf()
             selected: List[int] = []
             keep: List[int] = []
             next_wake = _NEVER
@@ -1345,6 +1369,9 @@ def _simulate(
                             wake = o_ready[dep]
                             if wake < iq_min_wake:
                                 iq_min_wake = wake
+            if prof is not None:
+                prof.issue_scan_s += _perf() - _issue_t0
+                prof.issue_scans += 1
 
         # --------------------------- dispatch ----------------------------
         dispatched = 0
@@ -1432,6 +1459,8 @@ def _simulate(
         # terminating branch (taken or mispredicted) — exactly where the
         # reference's per-op loop stops fetching.
         if not waiting_redirect and cycle >= stall_until:
+            if prof is not None:
+                _fetch_t0 = _perf()
             fetched = 0
             while fetched < width and fq_end - fq_begin < fetch_queue_size:
                 if pushback >= 0:
@@ -1440,7 +1469,19 @@ def _simulate(
                 else:
                     index = fetch_index
                     if index >= t_len:
-                        if trace.ensure(index):
+                        if prof is None:
+                            grown = trace.ensure(index)
+                        else:
+                            _compile_t0 = _perf()
+                            grown = trace.ensure(index)
+                            _compile_dt = _perf() - _compile_t0
+                            prof.compile_s += _compile_dt
+                            prof.compiles += 1
+                            # Mid-fetch trace growth is compile time;
+                            # shift the round's start so the fetch phase
+                            # does not absorb it.
+                            _fetch_t0 += _compile_dt
+                        if grown:
                             t_len = trace.rows
                             trace.extend_fetch_plan(fetch_plan)
                             n_terms = len(t_terms)
@@ -1495,6 +1536,9 @@ def _simulate(
                         # A taken branch ends the fetch block.
                         last_line = -1
                     break
+            if prof is not None:
+                prof.fetch_s += _perf() - _fetch_t0
+                prof.fetch_rounds += 1
 
         cycle += 1
         if cycle > limit:
@@ -1521,6 +1565,8 @@ def _simulate(
                     head_kind != K_LOAD and head_kind != K_STORE
                 ) or len(lsq) < lsq_cap:
                     continue  # dispatch acts next cycle: no quiet region
+        if prof is not None:
+            _quiet_t0 = _perf()
         wake = _NEVER
         if rob_begin < next_seq:
             head_complete = o_complete[rob_begin]
@@ -1547,6 +1593,9 @@ def _simulate(
             if fq_begin < fq_end:
                 dispatch_stall_cycles += wake - cycle
             cycle = wake
+        if prof is not None:
+            prof.quiet_skip_s += _perf() - _quiet_t0
+            prof.quiet_skips += 1
 
     stats.cycles = cycle
     stats.committed_instructions = committed
@@ -1571,7 +1620,15 @@ def execute_run_fast(config: SimulationConfig) -> RunResult:
     are persisted to the on-disk cache afterwards, so sibling worker
     processes and later invocations skip the workload generator.
     """
-    trace = compiled_trace_for(config.benchmark, seed=config.seed)
+    prof = _obs_profile.active()
+    if prof is None:
+        trace = compiled_trace_for(config.benchmark, seed=config.seed)
+    else:
+        prof.runs += 1
+        _compile_t0 = _perf()
+        trace = compiled_trace_for(config.benchmark, seed=config.seed)
+        prof.compile_s += _perf() - _compile_t0
+        prof.compiles += 1
     hierarchy_config = config.hierarchy_config()
     memory = MainMemory(
         base_latency=hierarchy_config.memory_latency,

@@ -33,6 +33,7 @@ _DOCTEST_PAGES = [
     DOCS_DIR / "loadgen.md",
     DOCS_DIR / "scenarios.md",
     DOCS_DIR / "robustness.md",
+    DOCS_DIR / "observability.md",
 ]
 
 

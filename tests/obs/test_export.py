@@ -1,0 +1,178 @@
+"""Exporters: Perfetto-loadable trace JSON and Prometheus exposition."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.obs.export import chrome_trace, prometheus_text
+from repro.obs.trace import Span
+from repro.service.telemetry import HISTOGRAM_BOUNDS, Histogram
+
+#: One Prometheus text-format sample line: name{labels} value.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*="          # optional label set:
+    r"\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" -?[0-9.+\-einfEINF]+$"              # value (int, float, +Inf)
+)
+
+
+def _span(name="unit.exec", **overrides) -> Span:
+    base = dict(
+        name=name, trace_id="t" * 16, span_id="s" * 8,
+        start_s=100.0, duration_s=0.25, pid=42, tid=7,
+    )
+    base.update(overrides)
+    return Span(**base)
+
+
+class TestChromeTrace:
+    def test_schema_shape(self):
+        payload = chrome_trace(
+            [_span(), _span("engine.chunk", parent_id="p" * 8,
+                            attrs={"configs": 3})],
+            last_seq=9, dropped=1,
+        )
+        assert set(payload) == {
+            "traceEvents", "displayTimeUnit", "reproLastSeq", "reproDropped"
+        }
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["reproLastSeq"] == 9
+        assert payload["reproDropped"] == 1
+        assert len(payload["traceEvents"]) == 2
+
+    def test_events_are_complete_phase_microseconds(self):
+        event = chrome_trace([_span()])["traceEvents"][0]
+        assert event["ph"] == "X"
+        assert event["cat"] == "repro"
+        assert event["ts"] == pytest.approx(100.0 * 1e6)
+        assert event["dur"] == pytest.approx(0.25 * 1e6)
+        assert event["pid"] == 42 and event["tid"] == 7
+        assert event["args"]["trace_id"] == "t" * 16
+
+    def test_parent_and_attrs_ride_in_args(self):
+        event = chrome_trace(
+            [_span(parent_id="p" * 8, attrs={"job_id": "j-1"})]
+        )["traceEvents"][0]
+        assert event["args"]["parent_id"] == "p" * 8
+        assert event["args"]["job_id"] == "j-1"
+
+    def test_no_parent_key_when_root(self):
+        event = chrome_trace([_span()])["traceEvents"][0]
+        assert "parent_id" not in event["args"]
+
+    def test_payload_is_json_serializable(self):
+        text = json.dumps(chrome_trace([_span() for _ in range(5)]))
+        assert json.loads(text)["traceEvents"]
+
+
+def _metrics(**overrides) -> dict:
+    hist = Histogram()
+    hist.observe(0.03)
+    hist.observe(0.03)
+    hist.observe(7.5)
+    hist.observe(1e9)  # lands in +Inf
+    doc = {
+        "uptime_s": 12.5,
+        "counters": {"jobs_submitted": 3, "jobs_rejected": 0},
+        "queue_depth": 2,
+        "queue_depth_by_priority": {"0": 1, "5": 1},
+        "pending_units": 4,
+        "jobs_per_s": 0.24,
+        "draining": False,
+        "coalesce_rate": None,
+        "histograms": {"unit_exec_s": hist.as_dict()},
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestPrometheusText:
+    def test_every_sample_line_parses(self):
+        text = prometheus_text(_metrics())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert _SAMPLE_RE.match(line), f"bad exposition line: {line!r}"
+
+    def test_counters_get_total_suffix_and_type(self):
+        text = prometheus_text(_metrics())
+        assert "# TYPE repro_jobs_submitted_total counter" in text
+        assert "repro_jobs_submitted_total 3" in text
+
+    def test_gauges_skip_missing_values(self):
+        text = prometheus_text(_metrics())
+        assert "repro_queue_depth 2" in text
+        assert "repro_coalesce_rate" not in text  # None -> omitted
+
+    def test_priority_labels(self):
+        text = prometheus_text(_metrics())
+        assert 'repro_queue_depth_by_priority{priority="0"} 1' in text
+        assert 'repro_queue_depth_by_priority{priority="5"} 1' in text
+
+    def test_histogram_buckets_are_cumulative_and_monotonic(self):
+        text = prometheus_text(_metrics())
+        buckets = []
+        for line in text.splitlines():
+            match = re.match(
+                r'repro_unit_exec_seconds_bucket\{le="([^"]+)"\} (\d+)', line
+            )
+            if match:
+                buckets.append((match.group(1), int(match.group(2))))
+        assert len(buckets) == len(HISTOGRAM_BOUNDS) + 1
+        assert buckets[-1][0] == "+Inf"
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        # le="0.05" holds both 0.03 observations; +Inf holds all four.
+        by_le = dict(buckets)
+        assert by_le["0.05"] == 2
+        assert by_le["+Inf"] == 4
+
+    def test_histogram_count_matches_inf_bucket_and_sum_rendered(self):
+        text = prometheus_text(_metrics())
+        assert "repro_unit_exec_seconds_count 4" in text
+        assert re.search(r"repro_unit_exec_seconds_sum [\d.e+]+", text)
+
+    def test_bound_labels_are_compact(self):
+        # %g formatting: 0.005 not 0.005000, 1 not 1.0.
+        text = prometheus_text(_metrics())
+        assert 'le="0.005"' in text
+        assert 'le="1"' in text
+
+    def test_malformed_histogram_payload_is_skipped(self):
+        doc = _metrics()
+        doc["histograms"]["unit_exec_s"]["counts"] = [1, 2, 3]  # wrong arity
+        text = prometheus_text(doc)
+        assert "repro_unit_exec_seconds_bucket" not in text
+
+    def test_empty_document_renders(self):
+        assert prometheus_text({}) == "\n"
+
+
+class TestHistogramClass:
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        hist = Histogram(bounds=(0.1, 1.0))
+        hist.observe(0.1)
+        assert hist.counts == [1, 0, 0]
+
+    def test_weighted_observation(self):
+        hist = Histogram(bounds=(0.1, 1.0))
+        hist.observe(0.5, n=3)
+        assert hist.counts == [0, 3, 0]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(1.5)
+
+    def test_as_dict_shape(self):
+        payload = Histogram().as_dict()
+        assert len(payload["counts"]) == len(payload["bounds"]) + 1
+        assert payload["count"] == 0

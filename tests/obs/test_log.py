@@ -1,0 +1,58 @@
+"""Structured JSON logging: line shape, trace ids, failure tolerance."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def _disabled():
+    obs_log.disable()
+    yield
+    obs_log.disable()
+
+
+def test_off_by_default_and_noop():
+    assert not obs_log.enabled()
+    obs_log.event("anything", job_id="j-1")  # must not raise
+
+
+def test_event_emits_one_json_line_with_trace_id():
+    stream = io.StringIO()
+    obs_log.enable(stream)
+    obs_log.event("job.submitted", trace_id="ab" * 8, job_id="j-1", units=3)
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 1
+    record = json.loads(lines[0])
+    assert record["event"] == "job.submitted"
+    assert record["trace_id"] == "ab" * 8
+    assert record["job_id"] == "j-1" and record["units"] == 3
+    assert isinstance(record["ts"], float)
+
+
+def test_trace_id_omitted_when_absent():
+    stream = io.StringIO()
+    obs_log.enable(stream)
+    obs_log.event("tick")
+    assert "trace_id" not in json.loads(stream.getvalue())
+
+
+def test_unserializable_fields_degrade_not_raise():
+    stream = io.StringIO()
+    obs_log.enable(stream)
+    obs_log.event("weird", payload=object())
+    record = json.loads(stream.getvalue())
+    # default=str stringifies arbitrary objects; the line stays valid.
+    assert record["event"] == "weird"
+
+
+def test_closed_stream_is_swallowed():
+    stream = io.StringIO()
+    obs_log.enable(stream)
+    stream.close()
+    obs_log.event("tick")  # must not raise

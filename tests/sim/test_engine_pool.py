@@ -120,5 +120,8 @@ class TestChunking:
 
     def test_execute_chunk_runs_in_order(self):
         chunk = [_tiny("gcc"), _tiny("mesa")]
-        results = _execute_chunk((False, chunk))
+        results, meta = _execute_chunk((False, chunk))
         assert [r.benchmark for r in results] == ["gcc", "mesa"]
+        assert meta["configs"] == 2
+        assert meta["dur_s"] >= 0.0
+        assert meta["profile"] is None, "profiler is disarmed by default"
